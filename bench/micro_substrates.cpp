@@ -1,0 +1,85 @@
+// M1 — substrate micro-benchmarks (google-benchmark): view refinement,
+// Shrink product-BFS, UXS verification, engine round throughput, and
+// the implicit Q-hat step resolution.
+#include <benchmark/benchmark.h>
+
+#include "core/asymm_rv.hpp"
+#include "graph/families/families.hpp"
+#include "graph/families/qhat.hpp"
+#include "graph/families/qhat_implicit.hpp"
+#include "sim/engine.hpp"
+#include "uxs/uxs.hpp"
+#include "uxs/verifier.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace {
+
+namespace families = rdv::graph::families;
+
+void BM_ViewRefinement(benchmark::State& state) {
+  const auto g = families::random_connected(
+      static_cast<std::uint32_t>(state.range(0)), 2 * state.range(0), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdv::views::compute_view_classes(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ViewRefinement)->Range(8, 512)->Complexity();
+
+void BM_ShrinkProductBfs(benchmark::State& state) {
+  const auto g = families::oriented_torus(
+      static_cast<std::uint32_t>(state.range(0)),
+      static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdv::views::shrink(g, 0, 1));
+  }
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_ShrinkProductBfs)->DenseRange(3, 9, 2)->Complexity();
+
+void BM_UxsVerification(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = families::random_connected(n, 2 * n, 5);
+  const auto y = rdv::uxs::Uxs::pseudo_random(8ull * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdv::uxs::check_coverage(g, y));
+  }
+}
+BENCHMARK(BM_UxsVerification)->Range(8, 256);
+
+void BM_EngineRoundThroughput(benchmark::State& state) {
+  const auto g = families::oriented_ring(64);
+  rdv::sim::AgentProgram mover = [](rdv::sim::Mailbox& mb,
+                                    rdv::sim::Observation) ->
+      rdv::sim::Proc {
+        return [](rdv::sim::Mailbox& mb2) -> rdv::sim::Proc {
+          for (;;) co_await mb2.move(0);
+        }(mb);
+      };
+  rdv::sim::RunConfig config;
+  config.max_rounds = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rdv::sim::run_anonymous(g, mover, 0, 32, 0, config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineRoundThroughput)->Range(1 << 10, 1 << 16);
+
+void BM_QhatImplicitStep(benchmark::State& state) {
+  const families::QhatImplicitTopology topo(20);
+  rdv::graph::Node v = topo.root();
+  std::uint32_t dir = 0;
+  for (auto _ : state) {
+    const auto s = topo.step(v, dir % 4);
+    v = s.to;
+    ++dir;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_QhatImplicitStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

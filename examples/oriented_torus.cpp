@@ -1,0 +1,69 @@
+// The oriented torus: the paper's "Shrink cannot shrink" example.
+// Every pair of nodes is symmetric and Shrink(u, v) = dist(u, v), so a
+// STIC is feasible exactly when the delay reaches the distance.
+#include <cstdio>
+
+#include "analysis/optimal_search.hpp"
+#include "core/bounds.hpp"
+#include "core/symm_rv.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+#include "uxs/corpus.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+int main() {
+  namespace families = rdv::graph::families;
+  using rdv::graph::Graph;
+  using rdv::graph::Node;
+
+  const Graph g = families::oriented_torus(3, 3);
+  const auto classes = rdv::views::compute_view_classes(g);
+  std::printf("oriented_torus(3x3): %u view classes (all symmetric)\n\n",
+              classes.class_count);
+
+  rdv::support::Table table({"v", "dist(0,v)", "Shrink(0,v)", "delay",
+                             "feasible?", "SymmRV met", "rounds",
+                             "optimal search"});
+  const auto& y = rdv::uxs::cached_uxs(g.size());
+  for (const Node v : {Node{1}, Node{4}, Node{8}}) {
+    const std::uint32_t s = rdv::views::shrink(g, 0, v);
+    for (std::uint64_t delay = s > 1 ? s - 1 : 0; delay <= s; ++delay) {
+      const bool feasible = delay >= s;
+      std::string met = "-";
+      std::string rounds = "-";
+      if (feasible) {
+        rdv::sim::RunConfig config;
+        config.max_rounds = 4 * rdv::core::symm_rv_time_bound(
+                                    g.size(), s, delay, y.length());
+        const auto r = rdv::sim::run_anonymous(
+            g, rdv::core::symm_rv_program(g.size(), s, delay, y), 0, v,
+            delay, config);
+        met = r.met ? "yes" : "NO";
+        rounds = rdv::support::format_rounds(r.meet_from_later_start);
+      }
+      std::string optimal = "(skipped)";
+      if (delay <= 2) {
+        const auto opt = rdv::analysis::optimal_oblivious(g, 0, v, delay);
+        switch (opt.outcome) {
+          case rdv::analysis::OptimalOutcome::kMet:
+            optimal = "met@" + std::to_string(opt.rounds);
+            break;
+          case rdv::analysis::OptimalOutcome::kProvenInfeasible:
+            optimal = "proven-infeasible";
+            break;
+          case rdv::analysis::OptimalOutcome::kHorizonExceeded:
+            optimal = "horizon";
+            break;
+        }
+      }
+      table.add_row({std::to_string(v),
+                     std::to_string(rdv::graph::distance(g, 0, v)),
+                     std::to_string(s), std::to_string(delay),
+                     feasible ? "yes" : "no", met, rounds, optimal});
+    }
+  }
+  std::printf("%s", table.to_markdown().c_str());
+  return 0;
+}

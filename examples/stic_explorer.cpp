@@ -1,0 +1,144 @@
+// stic_explorer — command-line STIC analysis tool.
+//
+// Usage:
+//   stic_explorer <graph-file> <u> <v> <delta>
+//   stic_explorer --demo
+//
+// The graph file uses the library's text format (see
+// graph/serialize.hpp):
+//   rdv-graph <n> <name>
+//   <u> <pu> <v> <pv>        one line per edge
+//
+// Reports: symmetry of (u, v), Shrink with a witness port sequence,
+// the Corollary 3.1 feasibility verdict, the exhaustive-search verdict
+// (exact for symmetric pairs), and a UniversalRV simulation.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/optimal_search.hpp"
+#include "analysis/stics.hpp"
+#include "core/universal_rv.hpp"
+#include "graph/serialize.hpp"
+#include "sim/engine.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace {
+
+constexpr char kDemoGraph[] =
+    "rdv-graph 6 demo-ring\n"
+    "0 0 1 1\n1 0 2 1\n2 0 3 1\n3 0 4 1\n4 0 5 1\n5 0 0 1\n";
+
+int analyze(const rdv::graph::Graph& g, rdv::graph::Node u,
+            rdv::graph::Node v, std::uint64_t delta) {
+  if (u >= g.size() || v >= g.size() || u == v) {
+    std::fprintf(stderr, "error: need distinct nodes below %u\n",
+                 g.size());
+    return 2;
+  }
+  std::printf("graph: %s (n=%u, m=%llu)\n", g.name().c_str(), g.size(),
+              static_cast<unsigned long long>(g.edge_count()));
+
+  const auto classes = rdv::views::compute_view_classes(g);
+  const bool sym = classes.symmetric(u, v);
+  std::printf("nodes %u and %u are %s", u, v,
+              sym ? "SYMMETRIC" : "nonsymmetric");
+  if (!sym) {
+    std::printf(" (views differ at depth %u)",
+                rdv::views::view_distance(g, u, v));
+  }
+  std::printf("\n");
+
+  const auto shrink = rdv::views::shrink_with_witness(g, u, v);
+  std::printf("Shrink(%u,%u) = %u  (witness ports:", u, v,
+              shrink.shrink);
+  for (const auto p : shrink.witness) std::printf(" %u", p);
+  std::printf("%s) -> closest pair (%u, %u)\n",
+              shrink.witness.empty() ? " <empty>" : "", shrink.closest_u,
+              shrink.closest_v);
+
+  const auto cls = rdv::analysis::classify_stic(
+      g, classes, rdv::analysis::Stic{u, v, delta});
+  std::printf("STIC [(%u,%u), %llu]: %s by Corollary 3.1\n", u, v,
+              static_cast<unsigned long long>(delta),
+              cls.feasible ? "FEASIBLE" : "INFEASIBLE");
+
+  try {
+    rdv::analysis::OptimalSearchConfig config;
+    config.horizon = 1u << 14;
+    const auto opt = rdv::analysis::optimal_oblivious(g, u, v, delta,
+                                                      config);
+    switch (opt.outcome) {
+      case rdv::analysis::OptimalOutcome::kMet:
+        std::printf("exhaustive search: optimal meeting after %llu "
+                    "rounds (%llu states)\n",
+                    static_cast<unsigned long long>(opt.rounds),
+                    static_cast<unsigned long long>(opt.states_explored));
+        break;
+      case rdv::analysis::OptimalOutcome::kProvenInfeasible:
+        std::printf("exhaustive search: PROVEN infeasible "
+                    "(%llu states drained)%s\n",
+                    static_cast<unsigned long long>(opt.states_explored),
+                    sym ? "" : " [oblivious class only]");
+        break;
+      case rdv::analysis::OptimalOutcome::kHorizonExceeded:
+        std::printf("exhaustive search: inconclusive at horizon\n");
+        break;
+    }
+  } catch (const std::invalid_argument& e) {
+    std::printf("exhaustive search skipped: %s\n", e.what());
+  }
+
+  rdv::core::UniversalOptions options;
+  options.max_phases = 200;
+  rdv::sim::RunConfig config;
+  config.max_rounds = 1u << 24;
+  const auto run = rdv::sim::run_anonymous(
+      g, rdv::core::universal_rv_program(options), u, v, delta, config);
+  if (run.met) {
+    std::printf("UniversalRV: met after %llu rounds (later-start time)\n",
+                static_cast<unsigned long long>(run.meet_from_later_start));
+  } else {
+    std::printf("UniversalRV: no meeting within %llu rounds / %llu "
+                "phases\n",
+                static_cast<unsigned long long>(config.max_rounds),
+                static_cast<unsigned long long>(options.max_phases));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--demo") {
+    const auto g = rdv::graph::from_text(kDemoGraph);
+    std::printf("== demo: symmetric pair at Shrink ==\n");
+    analyze(g, 0, 3, 3);
+    std::printf("\n== demo: same pair, one round short ==\n");
+    return analyze(g, 0, 3, 2);
+  }
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <graph-file> <u> <v> <delta> | --demo\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const auto g = rdv::graph::from_text(buffer.str());
+    return analyze(g, static_cast<rdv::graph::Node>(std::atoi(argv[2])),
+                   static_cast<rdv::graph::Node>(std::atoi(argv[3])),
+                   static_cast<std::uint64_t>(std::atoll(argv[4])));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,49 @@
+#include "analysis/experiments.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <cstring>
+
+namespace rdv::analysis {
+
+std::optional<std::uint64_t> measured_rendezvous(
+    const graph::ITopology& g, const sim::AgentProgram& program,
+    const Stic& stic, std::uint64_t max_rounds) {
+  sim::RunConfig config;
+  config.max_rounds = max_rounds;
+  const sim::RunResult run =
+      sim::run_anonymous(g, program, stic.u, stic.v, stic.delay, config);
+  if (run.met) return run.meet_from_later_start;
+  return std::nullopt;
+}
+
+std::string rendezvous_cell(const std::optional<std::uint64_t>& rounds,
+                            std::uint64_t cap) {
+  if (rounds) return std::to_string(*rounds);
+  return "no-meet(cap=" + std::to_string(cap) + ")";
+}
+
+bool full_mode() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+std::string emit_table(const std::string& experiment_id,
+                       const std::string& heading,
+                       const support::Table& table) {
+  std::printf("%s\n%s", heading.c_str(), table.to_markdown().c_str());
+  const char* dir = std::getenv("REPRO_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path =
+      std::string(dir) + "/" + experiment_id + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return {};
+  }
+  out << table.to_csv();
+  return path;
+}
+
+}  // namespace rdv::analysis

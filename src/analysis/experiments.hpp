@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/stics.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+
+/// Shared utilities for the bench binaries (one per experiment table;
+/// see DESIGN.md §3 and EXPERIMENTS.md).
+namespace rdv::analysis {
+
+/// Runs the anonymous program on the STIC; returns rounds from the
+/// later agent's start if they met within the cap.
+[[nodiscard]] std::optional<std::uint64_t> measured_rendezvous(
+    const graph::ITopology& g, const sim::AgentProgram& program,
+    const Stic& stic, std::uint64_t max_rounds);
+
+/// "123" or "no-meet(cap=...)" for table cells.
+[[nodiscard]] std::string rendezvous_cell(
+    const std::optional<std::uint64_t>& rounds, std::uint64_t cap);
+
+/// True when REPRO_FULL=1 is set: benches then run their larger sweeps.
+[[nodiscard]] bool full_mode();
+
+/// Prints the table (with a heading) and, when REPRO_CSV_DIR is set,
+/// additionally writes `<dir>/<experiment_id>.csv` so downstream
+/// plotting scripts can consume the raw rows. Returns the CSV path, or
+/// empty if not written.
+std::string emit_table(const std::string& experiment_id,
+                       const std::string& heading,
+                       const support::Table& table);
+
+}  // namespace rdv::analysis

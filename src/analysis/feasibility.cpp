@@ -1,0 +1,44 @@
+#include "analysis/feasibility.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace rdv::analysis {
+
+SticCheck verify_stic(const graph::Graph& g,
+                      const views::ViewClasses& classes, const Stic& stic,
+                      const sim::AgentProgram& program,
+                      const sim::RunConfig& config) {
+  SticCheck check;
+  check.cls = classify_stic(g, classes, stic);
+  check.run = sim::run_anonymous(g, program, stic.u, stic.v, stic.delay,
+                                 config);
+  check.consistent =
+      check.run.ok() && (check.run.met == check.cls.feasible);
+  return check;
+}
+
+SweepSummary feasibility_sweep(const graph::Graph& g,
+                               std::uint64_t max_delay,
+                               const sim::AgentProgram& program,
+                               const sim::RunConfig& config) {
+  const views::ViewClasses classes = views::compute_view_classes(g);
+  const std::vector<Stic> stics = enumerate_stics(g, max_delay);
+  SweepSummary summary;
+  summary.checks.resize(stics.size());
+  support::parallel_for(
+      support::default_pool(), 0, stics.size(), [&](std::size_t i) {
+        summary.checks[i] =
+            verify_stic(g, classes, stics[i], program, config);
+      });
+  for (const SticCheck& check : summary.checks) {
+    if (check.cls.feasible) {
+      ++summary.feasible;
+    } else {
+      ++summary.infeasible;
+    }
+    if (!check.consistent) ++summary.inconsistent;
+  }
+  return summary;
+}
+
+}  // namespace rdv::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stics.hpp"
+#include "sim/engine.hpp"
+
+/// Cross-validation of the feasibility characterization
+/// (Corollary 3.1) against actual simulations — experiment T2.
+namespace rdv::analysis {
+
+struct SticCheck {
+  ClassifiedStic cls;
+  sim::RunResult run;
+  /// True when the simulation agrees with the characterization:
+  /// a feasible STIC met within the round cap, an infeasible one did
+  /// not meet (the cap cannot *prove* infeasibility — optimal_search
+  /// can — but any meet on a predicted-infeasible STIC is a hard
+  /// inconsistency).
+  bool consistent = false;
+};
+
+/// Runs the program on one STIC and compares with the prediction.
+[[nodiscard]] SticCheck verify_stic(const graph::Graph& g,
+                                    const views::ViewClasses& classes,
+                                    const Stic& stic,
+                                    const sim::AgentProgram& program,
+                                    const sim::RunConfig& config);
+
+struct SweepSummary {
+  std::vector<SticCheck> checks;
+  std::uint64_t feasible = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t inconsistent = 0;
+};
+
+/// Verifies every ordered STIC with delays 0..max_delay, in parallel.
+[[nodiscard]] SweepSummary feasibility_sweep(const graph::Graph& g,
+                                             std::uint64_t max_delay,
+                                             const sim::AgentProgram& program,
+                                             const sim::RunConfig& config);
+
+}  // namespace rdv::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent.hpp"
+
+/// Lower-bound experiment machinery (Theorem 4.1 / T6).
+namespace rdv::analysis {
+
+/// Theorem 4.1's certified lower bound for STICs [(r, v), D] with
+/// v in Z, D = 2k: any single algorithm serving all of Z must make the
+/// earlier agent (or the later, for the other half) visit at least
+/// 2^(k-1) distinct midpoints M(v); visiting q distinct nodes takes at
+/// least q - 1 rounds.
+[[nodiscard]] std::uint64_t theorem41_lower_bound(std::uint32_t k);
+
+/// Number of distinct midpoints M(v) = gamma(r): 2^k.
+[[nodiscard]] std::uint64_t midpoint_count(std::uint32_t k);
+
+/// Closed DFS walk length of the Steiner tree spanning {r} and all
+/// midpoints (the {N,E}-prefix tree): 2 * (2^(k+1) - 2). The cheapest
+/// "visit every midpoint and return" tour — a floor for any dedicated
+/// strategy that must check all of Z from the root side.
+[[nodiscard]] std::uint64_t steiner_closed_walk(std::uint32_t k);
+
+/// The dedicated-Z algorithm: a single program that achieves rendezvous
+/// for EVERY STIC [(r, v), D = 2k] with v in Z on Q-hat (h >= 4k).
+/// Both agents iterate gamma over {N,E}^k in lexicographic order,
+/// traverse gamma gamma (2k moves) and walk back (2k moves); with the
+/// true gamma at lexicographic index i (1-based), the earlier agent
+/// reaches v exactly when the later agent sits at home between
+/// iterations: meeting at 4k(i-1) + 2k rounds absolute, i.e.
+/// 4k(i-1) from the later agent's start. Worst case ~ 4k * 2^k —
+/// exponential in k, matching the theorem's 2^(k-1) floor in shape.
+[[nodiscard]] sim::AgentProgram dedicated_z_program(std::uint32_t k);
+
+/// Predicted meeting time (from the later agent's start) of
+/// dedicated_z_program for the gamma at 1-based lexicographic index i.
+[[nodiscard]] std::uint64_t dedicated_z_predicted_rounds(std::uint32_t k,
+                                                         std::uint64_t i);
+
+}  // namespace rdv::analysis

@@ -1,0 +1,36 @@
+#include "analysis/stics.hpp"
+
+#include "views/shrink.hpp"
+
+namespace rdv::analysis {
+
+ClassifiedStic classify_stic(const graph::Graph& g, const Stic& stic) {
+  return classify_stic(g, views::compute_view_classes(g), stic);
+}
+
+ClassifiedStic classify_stic(const graph::Graph& g,
+                             const views::ViewClasses& classes,
+                             const Stic& stic) {
+  ClassifiedStic out;
+  out.stic = stic;
+  out.symmetric = classes.symmetric(stic.u, stic.v);
+  out.shrink = views::shrink(g, stic.u, stic.v);
+  out.feasible = !out.symmetric || stic.delay >= out.shrink;
+  return out;
+}
+
+std::vector<Stic> enumerate_stics(const graph::Graph& g,
+                                  std::uint64_t max_delay) {
+  std::vector<Stic> stics;
+  for (graph::Node u = 0; u < g.size(); ++u) {
+    for (graph::Node v = 0; v < g.size(); ++v) {
+      if (u == v) continue;
+      for (std::uint64_t delay = 0; delay <= max_delay; ++delay) {
+        stics.push_back(Stic{u, v, delay});
+      }
+    }
+  }
+  return stics;
+}
+
+}  // namespace rdv::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "views/refinement.hpp"
+
+/// Space-time initial configurations (STICs) and their classification.
+namespace rdv::analysis {
+
+/// STIC [(u, v), delta]: u is the earlier agent's start node, v the
+/// later agent's, delta the delay between their starting rounds.
+struct Stic {
+  graph::Node u = 0;
+  graph::Node v = 0;
+  std::uint64_t delay = 0;
+
+  friend bool operator==(const Stic&, const Stic&) = default;
+};
+
+/// Classification per Corollary 3.1.
+struct ClassifiedStic {
+  Stic stic;
+  bool symmetric = false;
+  /// Shrink(u, v); meaningful for the characterization when symmetric
+  /// (computed for every pair — for nonsymmetric pairs it is still the
+  /// min same-sequence distance, reported for diagnostics).
+  std::uint32_t shrink = 0;
+  /// Corollary 3.1: feasible iff nonsymmetric, or delta >= Shrink.
+  bool feasible = false;
+};
+
+/// Classify one STIC (computes symmetry and Shrink).
+[[nodiscard]] ClassifiedStic classify_stic(const graph::Graph& g,
+                                           const Stic& stic);
+
+/// Classify against precomputed view classes (avoids recomputing the
+/// partition in sweeps).
+[[nodiscard]] ClassifiedStic classify_stic(const graph::Graph& g,
+                                           const views::ViewClasses& classes,
+                                           const Stic& stic);
+
+/// All ordered STICs (u != v) with delays 0..max_delay.
+[[nodiscard]] std::vector<Stic> enumerate_stics(const graph::Graph& g,
+                                                std::uint64_t max_delay);
+
+}  // namespace rdv::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "uxs/uxs.hpp"
+
+/// Procedure AsymmRV(n) — substitute for the [CKP12] log-space
+/// rendezvous invoked by Proposition 3.1 (see DESIGN.md §2.2).
+///
+/// Mechanism: derive a label from the UXS observation signature, then
+/// time-multiplex explore-or-wait blocks with doubling block lengths
+/// B_p = E * 2^(p+2) (E = one explore-and-return). For any two agents
+/// whose labels differ at some bit, the first phase with B_p >= 2E +
+/// delta contains a full exploration by one agent strictly inside a
+/// wait block of the other, and exploration visits all nodes — meeting
+/// guaranteed. Runs under an exact round budget (consumes precisely
+/// end_clock - start rounds, ending at the start node) so UniversalRV's
+/// phases stay in lockstep.
+namespace rdv::core {
+
+/// Budget-exact AsymmRV at the agent's current node. If `label`
+/// is provided it overrides the signature (oracle mode, T9 ablation).
+[[nodiscard]] sim::Proc asymm_rv(
+    sim::Mailbox& mb, std::uint32_t n, const uxs::Uxs& y,
+    std::uint64_t end_clock,
+    std::optional<std::vector<bool>> label = std::nullopt);
+
+/// Standalone program for experiments: runs AsymmRV with the given
+/// round budget, then halts in place.
+[[nodiscard]] sim::AgentProgram asymm_rv_program(
+    std::uint32_t n, uxs::Uxs y, std::uint64_t budget,
+    std::optional<std::vector<bool>> label = std::nullopt);
+
+}  // namespace rdv::core

@@ -1,0 +1,54 @@
+#include "core/bounds.hpp"
+
+#include "support/saturating.hpp"
+
+namespace rdv::core {
+
+using support::sat_add;
+using support::sat_mul;
+using support::sat_pow;
+using support::sat_sub;
+
+std::uint64_t symm_rv_time_bound(std::uint64_t n, std::uint64_t d,
+                                 std::uint64_t delta, std::uint64_t M) {
+  // [(d+delta) (n-1)^d] (M+2) + 2(M+1).
+  const std::uint64_t per_node =
+      sat_mul(sat_add(d, delta), sat_pow(sat_sub(n, 1), d));
+  return sat_add(sat_mul(per_node, sat_add(M, 2)),
+                 sat_mul(2, sat_add(M, 1)));
+}
+
+std::uint64_t explore_return_rounds(std::uint64_t M) {
+  return sat_mul(2, sat_add(M, 1));
+}
+
+std::uint64_t asymm_signature_bits(std::uint64_t n, std::uint64_t M) {
+  const std::uint64_t w = support::bits_for(n == 0 ? 1 : n);
+  return sat_mul(sat_add(M, 1), sat_mul(2, w));
+}
+
+std::uint64_t asymm_rv_time_bound(std::uint64_t n, std::uint64_t delta,
+                                  std::uint64_t M) {
+  const std::uint64_t E = explore_return_rounds(M);
+  const std::uint64_t bits = asymm_signature_bits(n, M);
+  std::uint64_t total = E;  // the signature walk
+  for (std::uint32_t p = 0;; ++p) {
+    const std::uint64_t block = sat_mul(E, sat_pow(2, p + 2));
+    total = sat_add(total, sat_mul(bits, block));
+    if (block >= sat_add(sat_mul(2, E), delta)) break;
+    if (block == support::kRoundInfinity) break;
+  }
+  return total;
+}
+
+std::uint64_t universal_phase_duration(std::uint64_t n, std::uint64_t d,
+                                       std::uint64_t delta,
+                                       std::uint64_t M) {
+  if (d >= n) return 0;
+  const std::uint64_t asymm_segment =
+      sat_mul(2, sat_add(asymm_rv_time_bound(n, delta, M), delta));
+  if (delta < d) return asymm_segment;
+  return sat_add(asymm_segment, symm_rv_time_bound(n, d, delta, M));
+}
+
+}  // namespace rdv::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+/// Round-count formulas for the algorithms (all saturating uint64; a
+/// saturated value means "astronomically large", which the engine's
+/// wait fast-forwarding and round caps absorb).
+namespace rdv::core {
+
+/// Lemma 3.3: maximum execution time of SymmRV(n, d, delta) with a UXS
+/// of length M:  T = [(d+delta) (n-1)^d] (M+2) + 2(M+1).
+[[nodiscard]] std::uint64_t symm_rv_time_bound(std::uint64_t n,
+                                               std::uint64_t d,
+                                               std::uint64_t delta,
+                                               std::uint64_t M);
+
+/// Duration of one explore-and-return over a UXS of length M: the
+/// application path has M+1 edges, walked out and back.
+[[nodiscard]] std::uint64_t explore_return_rounds(std::uint64_t M);
+
+/// Number of signature bits AsymmRV derives from a UXS walk on an
+/// assumed size-n graph: M+1 arrivals, each encoded as fixed-width
+/// (entry port, degree) with w = bits_for(n) bits per field.
+[[nodiscard]] std::uint64_t asymm_signature_bits(std::uint64_t n,
+                                                 std::uint64_t M);
+
+/// Our AsymmRV substitute's meeting bound (DESIGN.md §2.2): the
+/// signature walk plus doubling explore-or-wait phases p = 0, 1, ...
+/// with block length B_p = E * 2^(p+2); the first phase with
+/// B_p >= 2E + delta meets (signatures differing). Returns the total
+/// rounds through the end of that phase. Polynomial in n and delta.
+[[nodiscard]] std::uint64_t asymm_rv_time_bound(std::uint64_t n,
+                                                std::uint64_t delta,
+                                                std::uint64_t M);
+
+/// Deterministic duration of UniversalRV's phase (n, d, delta) under
+/// the budget-exact discipline (DESIGN.md): zero when d >= n; otherwise
+/// 2*(asymm_bound + delta) plus, when delta >= d, the SymmRV budget
+/// T(n, d, delta).
+[[nodiscard]] std::uint64_t universal_phase_duration(std::uint64_t n,
+                                                     std::uint64_t d,
+                                                     std::uint64_t delta,
+                                                     std::uint64_t M);
+
+}  // namespace rdv::core

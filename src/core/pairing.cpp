@@ -1,0 +1,40 @@
+#include "core/pairing.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdv::core {
+
+std::uint64_t cantor_f(std::uint64_t x, std::uint64_t y) {
+  assert(x >= 1 && y >= 1);
+  const std::uint64_t s = x + y;
+  return x + (s - 1) * (s - 2) / 2;
+}
+
+std::pair<std::uint64_t, std::uint64_t> cantor_f_inverse(std::uint64_t w) {
+  assert(w >= 1);
+  // Find s = x + y: the unique s >= 2 with (s-1)(s-2)/2 < w <=
+  // (s-1)(s-2)/2 + (s-1). Start from the real solution and adjust to be
+  // safe against floating point rounding.
+  std::uint64_t s = static_cast<std::uint64_t>(
+      (3.0 + std::sqrt(8.0 * static_cast<double>(w) - 7.0)) / 2.0);
+  if (s < 2) s = 2;
+  auto base = [](std::uint64_t t) { return (t - 1) * (t - 2) / 2; };
+  while (base(s) >= w) --s;
+  while (base(s + 1) < w) ++s;
+  const std::uint64_t x = w - base(s);
+  assert(x >= 1 && x <= s - 1);
+  return {x, s - x};
+}
+
+std::uint64_t phase_encode(const PhaseTriple& t) {
+  return cantor_f(cantor_f(t.n, t.d), t.delta);
+}
+
+PhaseTriple phase_decode(std::uint64_t P) {
+  const auto [w, delta] = cantor_f_inverse(P);
+  const auto [n, d] = cantor_f_inverse(w);
+  return PhaseTriple{n, d, delta};
+}
+
+}  // namespace rdv::core

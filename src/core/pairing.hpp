@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+/// The phase-enumeration bijections of Section 3.2.
+///
+/// f(x, y) = x + (x+y-1)(x+y-2)/2 is a bijection from N+ x N+ onto N+
+/// (Cantor); g(x, y, z) = f(f(x, y), z) is a bijection from N+^3 onto
+/// N+. UniversalRV runs phases P = 1, 2, ... with (n, d, delta) =
+/// g^{-1}(P) as the assumed graph size, Shrink value and delay.
+namespace rdv::core {
+
+/// A decoded phase triple; all components are positive.
+struct PhaseTriple {
+  std::uint64_t n = 1;
+  std::uint64_t d = 1;
+  std::uint64_t delta = 1;
+
+  friend bool operator==(const PhaseTriple&, const PhaseTriple&) = default;
+};
+
+/// f(x, y); x, y >= 1. Saturation-free for all realistic phases; callers
+/// keep arguments below 2^31.
+[[nodiscard]] std::uint64_t cantor_f(std::uint64_t x, std::uint64_t y);
+
+/// f^{-1}(w); w >= 1.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> cantor_f_inverse(
+    std::uint64_t w);
+
+/// g(n, d, delta).
+[[nodiscard]] std::uint64_t phase_encode(const PhaseTriple& t);
+
+/// g^{-1}(P); P >= 1.
+[[nodiscard]] PhaseTriple phase_decode(std::uint64_t P);
+
+}  // namespace rdv::core

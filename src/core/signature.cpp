@@ -1,0 +1,64 @@
+#include "core/signature.hpp"
+
+#include "support/saturating.hpp"
+
+namespace rdv::core {
+
+using sim::Mailbox;
+using sim::Observation;
+using sim::Proc;
+
+namespace {
+
+void append_fixed_width(std::vector<bool>* bits, std::uint64_t value,
+                        unsigned width) {
+  for (unsigned b = width; b-- > 0;) {
+    bits->push_back(((value >> b) & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+Proc signature_walk(Mailbox& mb, std::uint32_t n, const uxs::Uxs& y,
+                    std::vector<bool>* bits_out) {
+  const unsigned width = support::bits_for(n == 0 ? 1 : n);
+  std::vector<graph::Port> entries;
+  entries.reserve(y.length() + 1);
+
+  Observation o = co_await mb.move(0);
+  entries.push_back(*o.entry_port);
+  append_fixed_width(bits_out, *o.entry_port & ((1ull << width) - 1), width);
+  append_fixed_width(bits_out, o.degree & ((1ull << width) - 1), width);
+  for (std::uint64_t a : y.terms()) {
+    const graph::Port port =
+        static_cast<graph::Port>((*o.entry_port + a) % o.degree);
+    o = co_await mb.move(port);
+    entries.push_back(*o.entry_port);
+    append_fixed_width(bits_out, *o.entry_port & ((1ull << width) - 1),
+                       width);
+    append_fixed_width(bits_out, o.degree & ((1ull << width) - 1), width);
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    co_await mb.move(*it);
+  }
+}
+
+std::vector<bool> signature_offline(const graph::ITopology& g,
+                                    graph::Node start, std::uint32_t n,
+                                    const uxs::Uxs& y) {
+  const unsigned width = support::bits_for(n == 0 ? 1 : n);
+  std::vector<bool> bits;
+  graph::Step s = g.step(start, 0);
+  append_fixed_width(&bits, s.entry_port & ((1ull << width) - 1), width);
+  append_fixed_width(&bits, g.degree(s.to) & ((1ull << width) - 1), width);
+  for (std::uint64_t a : y.terms()) {
+    const graph::Port port =
+        static_cast<graph::Port>((s.entry_port + a) % g.degree(s.to));
+    s = g.step(s.to, port);
+    append_fixed_width(&bits, s.entry_port & ((1ull << width) - 1), width);
+    append_fixed_width(&bits, g.degree(s.to) & ((1ull << width) - 1), width);
+  }
+  return bits;
+}
+
+}  // namespace rdv::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "uxs/uxs.hpp"
+
+/// Observation signatures (DESIGN.md §2.2).
+///
+/// An agent walks the application of Y(n) from its start node recording
+/// the (entry port, degree) pair of every arrival, then backtracks
+/// home. The resulting fixed-width bit string is its label: by the
+/// Chalopin–Das–Kosowski map construction, UXS observation traces
+/// separate nodes with different views, so nonsymmetric starting
+/// positions yield different labels (cross-validated against the exact
+/// view oracle in tests and the T9 ablation).
+namespace rdv::core {
+
+/// Physically walks Y from the current node and returns home; appends
+/// (M+1) * 2 * bits_for(n) bits to *bits_out. Duration: exactly
+/// explore_return_rounds(M) = 2(M+1) rounds, observation-independent.
+[[nodiscard]] sim::Proc signature_walk(sim::Mailbox& mb, std::uint32_t n,
+                                       const uxs::Uxs& y,
+                                       std::vector<bool>* bits_out);
+
+/// Observer-side computation of the same signature (no engine); used by
+/// tests and analysis to predict labels.
+[[nodiscard]] std::vector<bool> signature_offline(const graph::ITopology& g,
+                                                  graph::Node start,
+                                                  std::uint32_t n,
+                                                  const uxs::Uxs& y);
+
+}  // namespace rdv::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/agent.hpp"
+#include "uxs/uxs.hpp"
+
+/// Procedure SymmRV(n, d, delta) — Algorithm 1.
+///
+/// Follows the application R(u) of the UXS Y(n) from the agent's start
+/// node, executing Explore(u_i, d, delta) at every node of R(u), then
+/// backtracks to the start. Lemma 3.2: if the agents' start nodes are
+/// symmetric, d = Shrink(u, v), and the actual delay is in [d, delta],
+/// both agents executing this procedure meet before it ends.
+namespace rdv::core {
+
+/// Runs SymmRV at the agent's current node; the agent ends back there.
+/// Requires delta >= d. With a finite end_clock the procedure is
+/// truncated so the agent is home by end_clock (sets *completed =
+/// false); this never triggers when n really bounds the graph size,
+/// because the procedure then finishes within symm_rv_time_bound
+/// (Lemma 3.3).
+[[nodiscard]] sim::Proc symm_rv(sim::Mailbox& mb, std::uint32_t n,
+                                std::uint32_t d, std::uint64_t delta,
+                                const uxs::Uxs& y, std::uint64_t end_clock,
+                                bool* completed);
+
+/// Standalone single-shot program for experiments with known
+/// parameters: runs SymmRV once, then halts in place.
+[[nodiscard]] sim::AgentProgram symm_rv_program(std::uint32_t n,
+                                                std::uint32_t d,
+                                                std::uint64_t delta,
+                                                uxs::Uxs y);
+
+}  // namespace rdv::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/pairing.hpp"
+#include "sim/agent.hpp"
+#include "uxs/uxs.hpp"
+
+/// Algorithm UniversalRV (Algorithm 3, Section 3.2): rendezvous for
+/// every feasible STIC with zero a-priori knowledge.
+///
+/// Phases P = 1, 2, ...: (n, d, delta) = g^{-1}(P). If d < n, run
+/// AsymmRV(n) for asymm_rv_time_bound(n, delta) + delta rounds and
+/// level to twice that (the paper's backtrack-and-wait); then if
+/// delta >= d, run SymmRV(n, d, delta) and level to T(n, d, delta)
+/// (Lemma 3.3). Every phase consumes an observation-independent number
+/// of rounds ("budget-exact phases", DESIGN.md), so two agents always
+/// enter each phase with their original delay intact; rendezvous is
+/// then guaranteed at the latest in the first phase whose triple
+/// dominates the true (n, Shrink, delta) of a feasible STIC.
+namespace rdv::core {
+
+struct UniversalOptions {
+  /// Y(n) provider; must be deterministic (both anonymous agents derive
+  /// the same sequences). Defaults to the corpus-verified cache.
+  uxs::UxsProvider provider;
+  /// Stop after this many phases (the program then halts in place);
+  /// safety valve for simulations. kRoundInfinity = run forever.
+  std::uint64_t max_phases = ~std::uint64_t{0};
+  /// Ablations: disable one arm of each phase.
+  bool enable_asymm = true;
+  bool enable_symm = true;
+
+  UniversalOptions();
+};
+
+/// The universal anonymous-rendezvous program.
+[[nodiscard]] sim::AgentProgram universal_rv_program(
+    UniversalOptions options = {});
+
+/// The first phase index whose triple makes rendezvous certain for a
+/// feasible STIC in a size-n graph: the minimal P with g^{-1}(P) =
+/// (n, d, delta') and delta' >= delta — with d = Shrink(u,v) for
+/// symmetric pairs, or the minimal such P over any d < n for
+/// nonsymmetric pairs (their AsymmRV arm fires in every phase with the
+/// right n). Used by tests and T5.
+[[nodiscard]] std::uint64_t guaranteed_phase_symmetric(std::uint64_t n,
+                                                       std::uint64_t shrink,
+                                                       std::uint64_t delta);
+[[nodiscard]] std::uint64_t guaranteed_phase_nonsymmetric(
+    std::uint64_t n, std::uint64_t delta);
+
+}  // namespace rdv::core

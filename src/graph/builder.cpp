@@ -1,0 +1,60 @@
+#include "graph/builder.hpp"
+
+#include <sstream>
+
+namespace rdv::graph {
+
+GraphBuilder::GraphBuilder(std::uint32_t node_count, std::string name)
+    : node_count_(node_count),
+      name_(std::move(name)),
+      pending_(node_count) {}
+
+GraphBuilder& GraphBuilder::connect(Node u, Port pu, Node v, Port pv) {
+  auto fail = [&](const std::string& what) {
+    std::ostringstream err;
+    err << name_ << ": connect(" << u << "," << pu << "," << v << "," << pv
+        << "): " << what;
+    throw std::invalid_argument(err.str());
+  };
+  if (u >= node_count_ || v >= node_count_) fail("node out of range");
+  if (u == v) fail("self-loop");
+  if (pending_[u].contains(pu)) fail("port already used at first node");
+  if (pending_[v].contains(pv)) fail("port already used at second node");
+  pending_[u].emplace(pu, HalfEdge{v, pv});
+  pending_[v].emplace(pv, HalfEdge{u, pu});
+  return *this;
+}
+
+bool GraphBuilder::port_used(Node u, Port p) const {
+  return u < node_count_ && pending_[u].contains(p);
+}
+
+Graph GraphBuilder::build() && {
+  std::vector<std::vector<HalfEdge>> adjacency(node_count_);
+  for (std::uint32_t v = 0; v < node_count_; ++v) {
+    Port expected = 0;
+    adjacency[v].reserve(pending_[v].size());
+    for (const auto& [port, edge] : pending_[v]) {
+      if (port != expected) {
+        std::ostringstream err;
+        err << name_ << ": node " << v << " has a port gap at "
+            << expected;
+        throw std::invalid_argument(err.str());
+      }
+      ++expected;
+      adjacency[v].push_back(edge);
+    }
+    if (adjacency[v].empty()) {
+      std::ostringstream err;
+      err << name_ << ": node " << v << " is isolated";
+      throw std::invalid_argument(err.str());
+    }
+  }
+  Graph g(std::move(adjacency), std::move(name_));
+  if (std::string problem = g.validate(); !problem.empty()) {
+    throw std::invalid_argument(g.name() + ": " + problem);
+  }
+  return g;
+}
+
+}  // namespace rdv::graph

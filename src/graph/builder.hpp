@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rdv::graph {
+
+/// Incremental construction of port-labeled graphs.
+///
+/// Usage:
+///   GraphBuilder b(4, "square");
+///   b.connect(0, /*port*/0, 1, /*port*/1);  // both half-edges at once
+///   ...
+///   Graph g = b.build();  // throws std::invalid_argument on bad wiring
+///
+/// build() requires every node's assigned ports to be exactly
+/// 0..degree-1 (the model's port-numbering discipline) and validates the
+/// resulting graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t node_count, std::string name);
+
+  /// Wire an undirected edge: port pu at u, port pv at v. Throws if
+  /// either port is already in use, on self-loops, or on out-of-range
+  /// nodes.
+  GraphBuilder& connect(Node u, Port pu, Node v, Port pv);
+
+  /// True if the given port at u is already wired.
+  [[nodiscard]] bool port_used(Node u, Port p) const;
+
+  /// Finalize; throws std::invalid_argument if ports are not contiguous
+  /// from 0 at some node, or if validation fails.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  std::uint32_t node_count_;
+  std::string name_;
+  // port -> half edge, per node; map keeps ports sorted for the
+  // contiguity check.
+  std::vector<std::map<Port, HalfEdge>> pending_;
+};
+
+}  // namespace rdv::graph

@@ -1,0 +1,21 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+
+Graph complete(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("complete: n must be >= 2");
+  GraphBuilder b(n, "complete(" + std::to_string(n) + ")");
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) {
+      // Port of v at u: v's rank among {0..n-1} \ {u}; since v > u this
+      // is v - 1. Port of u at v is u (u < v).
+      b.connect(u, v - 1, v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

@@ -1,0 +1,82 @@
+#include <array>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+
+Graph grid(std::uint32_t w, std::uint32_t h) {
+  if (w < 2 || h < 2) {
+    throw std::invalid_argument("grid: w and h must be >= 2");
+  }
+  const auto id = [w](std::uint32_t x, std::uint32_t y) -> Node {
+    return y * w + x;
+  };
+  GraphBuilder b(w * h, "grid(" + std::to_string(w) + "x" +
+                            std::to_string(h) + ")");
+  // Each node numbers its existing neighbors contiguously from 0 in
+  // E,S,W,N order (dir indices 0..3 below).
+  std::vector<std::array<int, 4>> port_table(
+      static_cast<std::size_t>(w) * h, {-1, -1, -1, -1});
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const bool exists[4] = {x + 1 < w, y + 1 < h, x > 0, y > 0};
+      Port p = 0;
+      for (int dir = 0; dir < 4; ++dir) {
+        if (exists[dir]) port_table[id(x, y)][dir] = static_cast<int>(p++);
+      }
+    }
+  }
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const Node v = id(x, y);
+      if (x + 1 < w) {  // E edge; the neighbor sees it as W (index 2)
+        b.connect(v, static_cast<Port>(port_table[v][0]), id(x + 1, y),
+                  static_cast<Port>(port_table[id(x + 1, y)][2]));
+      }
+      if (y + 1 < h) {  // S edge; the neighbor sees it as N (index 3)
+        b.connect(v, static_cast<Port>(port_table[v][1]), id(x, y + 1),
+                  static_cast<Port>(port_table[id(x, y + 1)][3]));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph star(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("star: n must be >= 3");
+  GraphBuilder b(n, "star(" + std::to_string(n) + ")");
+  for (Node leaf = 1; leaf < n; ++leaf) {
+    b.connect(0, leaf - 1, leaf, 0);
+  }
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(std::uint32_t a, std::uint32_t b_count) {
+  if (a < 1 || b_count < 1 || a + b_count < 3) {
+    throw std::invalid_argument("complete_bipartite: sides too small");
+  }
+  GraphBuilder b(a + b_count, "complete_bipartite(" + std::to_string(a) +
+                                  "," + std::to_string(b_count) + ")");
+  for (Node left = 0; left < a; ++left) {
+    for (Node right = 0; right < b_count; ++right) {
+      b.connect(left, right, a + right, left);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph ring_with_chord(std::uint32_t n) {
+  if (n < 6 || n % 2 != 0) {
+    throw std::invalid_argument("ring_with_chord: n must be even, >= 6");
+  }
+  GraphBuilder b(n, "ring_with_chord(" + std::to_string(n) + ")");
+  for (Node v = 0; v < n; ++v) {
+    b.connect(v, 0, (v + 1) % n, 1);
+  }
+  b.connect(0, 2, n / 2, 2);
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

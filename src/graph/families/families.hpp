@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// Generators for the port-labeled graph families used across tests,
+/// examples and the experiment harness. Every generator documents its
+/// port-numbering convention, because symmetry (and hence feasibility of
+/// rendezvous) depends on ports, not only on the underlying graph.
+namespace rdv::graph::families {
+
+/// Oriented ring on n >= 3 nodes: at every node, port 0 points clockwise
+/// and port 1 counterclockwise. Every pair of nodes is symmetric;
+/// Shrink(u,v) = dist(u,v) (rotations are the only same-sequence moves).
+[[nodiscard]] Graph oriented_ring(std::uint32_t n);
+
+/// Ring on n >= 3 nodes with ports assigned per-node from a seeded
+/// stream (each node independently decides which incident edge is port
+/// 0). Generally breaks the rotational symmetry of the oriented ring.
+[[nodiscard]] Graph scrambled_ring(std::uint32_t n, std::uint64_t seed);
+
+/// Oriented torus: w x h grid with wraparound, w,h >= 3 (keeps the
+/// graph simple). Ports at every node: 0=East, 1=South, 2=West, 3=North,
+/// consistently oriented; all node pairs are symmetric and
+/// Shrink(u,v) = dist(u,v) — the paper's "cannot shrink" example.
+[[nodiscard]] Graph oriented_torus(std::uint32_t w, std::uint32_t h);
+
+/// Hypercube of dimension dim >= 1: node = bitmask; port i flips bit i
+/// (so the reverse port equals the forward port). Vertex-transitive with
+/// port-preserving automorphisms: all pairs symmetric.
+[[nodiscard]] Graph hypercube(std::uint32_t dim);
+
+/// Complete graph on n >= 2 nodes; port p at node u leads to the p-th
+/// smallest node id other than u. (Not symmetric as a port-labeled
+/// graph for n >= 3 despite Kn's rich automorphisms.)
+[[nodiscard]] Graph complete(std::uint32_t n);
+
+/// Path on n >= 2 nodes; interior node i has port 0 toward i-1 and port
+/// 1 toward i+1; endpoints have the single port 0. n = 2 is the paper's
+/// introductory two-node graph. Midpoint reflection is NOT
+/// port-preserving here, so most pairs are nonsymmetric.
+[[nodiscard]] Graph path_graph(std::uint32_t n);
+
+/// The two-node graph from the paper's introduction (delay example).
+[[nodiscard]] Graph two_node_graph();
+
+/// Balanced b-ary rooted tree of the given height (height 0 = single
+/// edge pair is invalid; height >= 1). Root has ports 0..b-1 to
+/// children; non-root nodes have port 0 toward the parent and ports
+/// 1..b to children.
+[[nodiscard]] Graph balanced_tree(std::uint32_t branching,
+                                  std::uint32_t height);
+
+/// The paper's Shrink = 1 example (Section 3): a central edge with
+/// port-preserving isomorphic balanced b-ary trees of height t attached
+/// to both ends. Mirror nodes (i, i + half) are symmetric and
+/// Shrink(u, mirror(u)) = 1 regardless of their distance.
+/// Node ids: 0..half-1 = first copy (0 = its root), half..2*half-1 =
+/// second copy (half = its root).
+[[nodiscard]] Graph symmetric_double_tree(std::uint32_t branching,
+                                          std::uint32_t height);
+
+/// Mirror partner of v in symmetric_double_tree(b, t).
+[[nodiscard]] Node double_tree_mirror(const Graph& g, Node v);
+
+/// Random connected simple graph: a random attachment tree plus
+/// `extra_edges` additional random non-parallel edges; ports assigned by
+/// incidence order. Deterministic in (n, extra_edges, seed).
+[[nodiscard]] Graph random_connected(std::uint32_t n,
+                                     std::uint32_t extra_edges,
+                                     std::uint64_t seed);
+
+/// Non-wrapping w x h grid, w,h >= 2. Interior nodes have 4 ports,
+/// edges/corners fewer; ports are assigned in E,S,W,N scan order of the
+/// existing neighbors (so port numbering varies with position — most
+/// pairs are nonsymmetric).
+[[nodiscard]] Graph grid(std::uint32_t w, std::uint32_t h);
+
+/// Star: one hub (node 0, degree n-1, port i to leaf 1+i) and n-1
+/// leaves (single port 0). Leaves are NOT symmetric: each enters the
+/// hub by a different port, so their views differ at depth 1 — the
+/// hub's port numbering acts as implicit leaf labels.
+[[nodiscard]] Graph star(std::uint32_t n);
+
+/// Complete bipartite K_{a,b}: left nodes 0..a-1 (port j to right j),
+/// right nodes a..a+b-1 (port i to left i).
+[[nodiscard]] Graph complete_bipartite(std::uint32_t a, std::uint32_t b);
+
+/// Oriented ring with one chord between nodes 0 and n/2 (port 2 at both
+/// ends); breaks most of the ring's symmetry while keeping the
+/// chord-endpoint pair symmetric for even splits.
+[[nodiscard]] Graph ring_with_chord(std::uint32_t n);
+
+}  // namespace rdv::graph::families

@@ -1,0 +1,23 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+
+Graph hypercube(std::uint32_t dim) {
+  if (dim < 1 || dim > 20) {
+    throw std::invalid_argument("hypercube: dim must be in [1, 20]");
+  }
+  const std::uint32_t n = 1u << dim;
+  GraphBuilder b(n, "hypercube(" + std::to_string(dim) + ")");
+  for (Node v = 0; v < n; ++v) {
+    for (Port i = 0; i < dim; ++i) {
+      const Node w = v ^ (1u << i);
+      if (v < w) b.connect(v, i, w, i);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

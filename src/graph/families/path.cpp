@@ -1,0 +1,20 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+
+Graph path_graph(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("path_graph: n must be >= 2");
+  GraphBuilder b(n, "path(" + std::to_string(n) + ")");
+  for (Node v = 0; v + 1 < n; ++v) {
+    const Port at_left = (v == 0) ? 0 : 1;  // interior: port 1 -> right
+    b.connect(v, at_left, v + 1, 0);        // port 0 always -> left
+  }
+  return std::move(b).build();
+}
+
+Graph two_node_graph() { return path_graph(2); }
+
+}  // namespace rdv::graph::families

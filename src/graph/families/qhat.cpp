@@ -1,0 +1,156 @@
+#include "graph/families/qhat.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/walk.hpp"
+#include "support/saturating.hpp"
+
+namespace rdv::graph::families {
+namespace {
+
+/// Forward port of the leaf cycles on the axis of `type`: the N/S-axis
+/// cycles use ports E (earlier element) / W (later), the E/W-axis cycles
+/// use N (earlier) / S (later).
+constexpr Dir cycle_forward(Dir type) {
+  return (type == Dir::N || type == Dir::S) ? Dir::E : Dir::N;
+}
+
+}  // namespace
+
+std::uint64_t qhat_size(std::uint32_t h) {
+  const std::uint64_t pow3 = support::sat_pow(3, h);
+  return support::sat_add(1, support::sat_mul(2, support::sat_sub(pow3, 1)));
+}
+
+std::uint64_t qhat_leaves_per_type(std::uint32_t h) {
+  if (h == 0) return 0;
+  return support::sat_pow(3, h - 1);
+}
+
+LeafLink leaf_link(Dir type, std::uint64_t index, std::uint64_t x,
+                   Dir port) {
+  assert(index >= 1 && index <= x);
+  assert(port != type);  // the tree-edge port is handled by the caller
+  const Dir partner = opposite(type);
+  if (port == partner) {
+    // Partner edge Ni--Si / Ei--Wi: the target is entered by its own
+    // tree-edge-opposite port, i.e. by `type`.
+    return LeafLink{partner, index, type};
+  }
+  const Dir fwd = cycle_forward(type);
+  const Dir bwd = opposite(fwd);
+  if (port == fwd) {
+    if (index == x) return LeafLink{type, 1, bwd};  // closing edge
+    return LeafLink{partner, index + 1, bwd};
+  }
+  assert(port == bwd);
+  if (index == 1) return LeafLink{type, x, fwd};  // closing edge
+  return LeafLink{partner, index - 1, fwd};
+}
+
+QhatGraph qhat_explicit(std::uint32_t h) {
+  if (h < 2 || h > 9) {
+    throw std::invalid_argument("qhat_explicit: h must be in [2, 9]");
+  }
+  const std::uint64_t n64 = qhat_size(h);
+  const auto n = static_cast<std::uint32_t>(n64);
+
+  std::vector<std::vector<Node>> leaves_by_type(4);
+  std::vector<std::vector<Dir>> node_paths;
+  node_paths.reserve(n);
+
+  GraphBuilder builder(n, "qhat(" + std::to_string(h) + ")");
+
+  // Depth-first enumeration in lexicographic direction order; this makes
+  // node id 0 the root and lists each type's leaves in lexicographic
+  // path order, which is the leaf order the cycle wiring uses.
+  Node next_id = 0;
+  std::vector<Dir> path;
+  auto dfs = [&](auto&& self, Node parent_id) -> void {
+    const Node my_id = next_id++;
+    node_paths.push_back(path);
+    if (!path.empty()) {
+      const Dir d = path.back();
+      builder.connect(parent_id, to_port(d), my_id, to_port(opposite(d)));
+    }
+    if (path.size() == h) {
+      const Dir type = opposite(path.back());
+      leaves_by_type[static_cast<std::size_t>(type)].push_back(my_id);
+      return;
+    }
+    for (std::uint8_t d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      if (!path.empty() && dir == opposite(path.back())) continue;
+      path.push_back(dir);
+      self(self, my_id);
+      path.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+  assert(next_id == n);
+
+  // Leaf-to-leaf edges: resolve every (leaf, non-tree port) through the
+  // shared wiring rule; connect each undirected edge on first sight.
+  const std::uint64_t x = qhat_leaves_per_type(h);
+  for (std::uint8_t t = 0; t < 4; ++t) {
+    const Dir type = static_cast<Dir>(t);
+    const auto& leaves = leaves_by_type[t];
+    for (std::uint64_t i = 1; i <= x; ++i) {
+      const Node u = leaves[i - 1];
+      for (std::uint8_t p = 0; p < 4; ++p) {
+        const Dir port = static_cast<Dir>(p);
+        if (port == type) continue;  // tree edge
+        if (builder.port_used(u, to_port(port))) continue;
+        const LeafLink link = leaf_link(type, i, x, port);
+        const Node v = leaves_by_type[static_cast<std::size_t>(link.type)]
+                                     [link.index - 1];
+        builder.connect(u, to_port(port), v, to_port(link.entry));
+      }
+    }
+  }
+
+  return QhatGraph{std::move(builder).build(), h, 0,
+                   std::move(leaves_by_type), std::move(node_paths)};
+}
+
+std::vector<std::vector<Port>> qhat_gamma_strings(std::uint32_t k) {
+  std::vector<std::vector<Port>> gammas;
+  gammas.reserve(std::size_t{1} << k);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << k); ++bits) {
+    std::vector<Port> gamma(k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      // Lexicographic in (N=0, E=1): most significant bit first.
+      const bool east = (bits >> (k - 1 - j)) & 1u;
+      gamma[j] = to_port(east ? Dir::E : Dir::N);
+    }
+    gammas.push_back(std::move(gamma));
+  }
+  return gammas;
+}
+
+std::vector<Node> qhat_z_set(const ITopology& g, Node root, std::uint32_t k) {
+  std::vector<Node> z;
+  for (const auto& gamma : qhat_gamma_strings(k)) {
+    std::vector<Port> twice = gamma;
+    twice.insert(twice.end(), gamma.begin(), gamma.end());
+    const auto node = apply_ports(g, root, twice);
+    if (!node) throw std::invalid_argument("qhat_z_set: walk failed");
+    z.push_back(*node);
+  }
+  return z;
+}
+
+std::vector<Node> qhat_mid_set(const ITopology& g, Node root,
+                               std::uint32_t k) {
+  std::vector<Node> mids;
+  for (const auto& gamma : qhat_gamma_strings(k)) {
+    const auto node = apply_ports(g, root, gamma);
+    if (!node) throw std::invalid_argument("qhat_mid_set: walk failed");
+    mids.push_back(*node);
+  }
+  return mids;
+}
+
+}  // namespace rdv::graph::families

@@ -1,0 +1,46 @@
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+#include "support/splitmix.hpp"
+
+namespace rdv::graph::families {
+
+Graph random_connected(std::uint32_t n, std::uint32_t extra_edges,
+                       std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("random_connected: n must be >= 2");
+  const std::uint64_t max_extra =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
+  if (extra_edges > max_extra) {
+    throw std::invalid_argument("random_connected: too many extra edges");
+  }
+  support::SplitMix64 rng(seed);
+  GraphBuilder b(n, "random_connected(" + std::to_string(n) + "," +
+                        std::to_string(extra_edges) + ",seed=" +
+                        std::to_string(seed) + ")");
+  // Ports are assigned by incidence order: each node's next free port.
+  std::vector<Port> next_port(n, 0);
+  std::set<std::pair<Node, Node>> used;
+  auto add_edge = [&](Node u, Node v) {
+    b.connect(u, next_port[u]++, v, next_port[v]++);
+    used.emplace(std::min(u, v), std::max(u, v));
+  };
+  // Random attachment tree guarantees connectivity.
+  for (Node v = 1; v < n; ++v) {
+    add_edge(v, static_cast<Node>(rng.next_below(v)));
+  }
+  std::uint32_t added = 0;
+  while (added < extra_edges) {
+    const Node u = static_cast<Node>(rng.next_below(n));
+    const Node v = static_cast<Node>(rng.next_below(n));
+    if (u == v) continue;
+    if (used.contains({std::min(u, v), std::max(u, v)})) continue;
+    add_edge(u, v);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

@@ -1,0 +1,37 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+#include "support/splitmix.hpp"
+
+namespace rdv::graph::families {
+
+Graph oriented_ring(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("oriented_ring: n must be >= 3");
+  GraphBuilder b(n, "oriented_ring(" + std::to_string(n) + ")");
+  for (Node v = 0; v < n; ++v) {
+    // Port 0 at v = clockwise edge; it is port 1 (counterclockwise) at
+    // the successor.
+    b.connect(v, 0, (v + 1) % n, 1);
+  }
+  return std::move(b).build();
+}
+
+Graph scrambled_ring(std::uint32_t n, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("scrambled_ring: n must be >= 3");
+  support::SplitMix64 rng(seed);
+  // flip[v] == true: v's port 0 points counterclockwise instead.
+  std::vector<bool> flip(n);
+  for (std::uint32_t v = 0; v < n; ++v) flip[v] = (rng.next() & 1u) != 0;
+  GraphBuilder b(n, "scrambled_ring(" + std::to_string(n) + "," +
+                        std::to_string(seed) + ")");
+  for (Node v = 0; v < n; ++v) {
+    const Node w = (v + 1) % n;
+    const Port pv = flip[v] ? 1 : 0;  // clockwise port at v
+    const Port pw = flip[w] ? 0 : 1;  // counterclockwise port at w
+    b.connect(v, pv, w, pw);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

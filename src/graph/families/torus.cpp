@@ -1,0 +1,28 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+
+Graph oriented_torus(std::uint32_t w, std::uint32_t h) {
+  if (w < 3 || h < 3) {
+    throw std::invalid_argument("oriented_torus: w and h must be >= 3");
+  }
+  const auto id = [w](std::uint32_t x, std::uint32_t y) -> Node {
+    return y * w + x;
+  };
+  // Ports: 0 = East, 1 = South, 2 = West, 3 = North, globally oriented.
+  constexpr Port kEast = 0, kSouth = 1, kWest = 2, kNorth = 3;
+  GraphBuilder b(w * h, "oriented_torus(" + std::to_string(w) + "x" +
+                            std::to_string(h) + ")");
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      b.connect(id(x, y), kEast, id((x + 1) % w, y), kWest);
+      b.connect(id(x, y), kSouth, id(x, (y + 1) % h), kNorth);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace rdv::graph::families

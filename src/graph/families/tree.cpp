@@ -1,0 +1,85 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+namespace {
+
+/// Number of nodes in a balanced b-ary tree of the given height.
+std::uint64_t tree_size(std::uint64_t b, std::uint32_t height) {
+  std::uint64_t total = 1;
+  std::uint64_t level = 1;
+  for (std::uint32_t i = 0; i < height; ++i) {
+    level *= b;
+    total += level;
+  }
+  return total;
+}
+
+/// Wires a balanced b-ary tree rooted at `root` into `builder` using
+/// consecutive node ids starting at `root`. Root children use ports
+/// 0..b-1 at the root; every non-root node reserves port 0 for its
+/// parent and uses ports 1..b for children. Returns the count of nodes
+/// wired.
+std::uint32_t wire_tree(GraphBuilder& builder, Node root, std::uint32_t b,
+                        std::uint32_t height) {
+  std::uint32_t next = root + 1;
+  // (node, depth) in BFS order; children allocated contiguously.
+  std::vector<std::pair<Node, std::uint32_t>> frontier{{root, 0}};
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const auto [v, depth] = frontier[i];
+    if (depth == height) continue;
+    for (std::uint32_t c = 0; c < b; ++c) {
+      const Node child = next++;
+      const Port at_parent = (v == root) ? c : c + 1;
+      builder.connect(v, at_parent, child, 0);
+      frontier.emplace_back(child, depth + 1);
+    }
+  }
+  return next - root;
+}
+
+}  // namespace
+
+Graph balanced_tree(std::uint32_t branching, std::uint32_t height) {
+  if (branching < 1 || height < 1) {
+    throw std::invalid_argument("balanced_tree: branching, height >= 1");
+  }
+  const std::uint64_t n = tree_size(branching, height);
+  if (n > 2'000'000) {
+    throw std::invalid_argument("balanced_tree: too large");
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(n),
+                 "balanced_tree(" + std::to_string(branching) + "," +
+                     std::to_string(height) + ")");
+  wire_tree(b, 0, branching, height);
+  return std::move(b).build();
+}
+
+Graph symmetric_double_tree(std::uint32_t branching, std::uint32_t height) {
+  if (branching < 1 || height < 1) {
+    throw std::invalid_argument("symmetric_double_tree: params >= 1");
+  }
+  const std::uint64_t half = tree_size(branching, height);
+  if (half * 2 > 2'000'000) {
+    throw std::invalid_argument("symmetric_double_tree: too large");
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(2 * half),
+                 "symmetric_double_tree(" + std::to_string(branching) + "," +
+                     std::to_string(height) + ")");
+  wire_tree(b, 0, branching, height);
+  wire_tree(b, static_cast<Node>(half), branching, height);
+  // Central edge between the two roots; the same port number (branching)
+  // at both extremities makes the half-swapping map a port-preserving
+  // automorphism — the source of the symmetry.
+  b.connect(0, branching, static_cast<Node>(half), branching);
+  return std::move(b).build();
+}
+
+Node double_tree_mirror(const Graph& g, Node v) {
+  const Node half = g.size() / 2;
+  return v < half ? v + half : v - half;
+}
+
+}  // namespace rdv::graph::families

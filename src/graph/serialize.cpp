@@ -1,0 +1,65 @@
+#include "graph/serialize.hpp"
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+
+namespace rdv::graph {
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream out;
+  out << "graph \"" << g.name() << "\" {\n";
+  out << "  node [shape=circle];\n";
+  for (Node v = 0; v < g.size(); ++v) {
+    const auto edges = g.edges(v);
+    for (Port p = 0; p < edges.size(); ++p) {
+      const HalfEdge& e = edges[p];
+      if (v < e.to) {
+        out << "  " << v << " -- " << e.to << " [taillabel=\"" << p
+            << "\", headlabel=\"" << e.rev_port << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_text(const Graph& g) {
+  std::ostringstream out;
+  out << "rdv-graph " << g.size() << ' ' << g.name() << '\n';
+  for (Node v = 0; v < g.size(); ++v) {
+    const auto edges = g.edges(v);
+    for (Port p = 0; p < edges.size(); ++p) {
+      const HalfEdge& e = edges[p];
+      if (v < e.to) {
+        out << v << ' ' << p << ' ' << e.to << ' ' << e.rev_port << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+Graph from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  std::uint32_t n = 0;
+  std::string name;
+  in >> magic >> n;
+  std::getline(in, name);
+  if (magic != "rdv-graph" || n == 0) {
+    throw std::invalid_argument("from_text: bad header");
+  }
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  GraphBuilder builder(n, name.empty() ? "unnamed" : name);
+  Node u = 0;
+  Port pu = 0;
+  Node v = 0;
+  Port pv = 0;
+  while (in >> u >> pu >> v >> pv) {
+    builder.connect(u, pu, v, pv);
+  }
+  if (!in.eof()) throw std::invalid_argument("from_text: trailing junk");
+  return std::move(builder).build();
+}
+
+}  // namespace rdv::graph

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+/// Text serialization of port-labeled graphs.
+namespace rdv::graph {
+
+/// Graphviz DOT with ports rendered as edge head/tail labels.
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+/// Line format:
+///   rdv-graph <n> <name>
+///   <u> <pu> <v> <pv>     (one line per undirected edge, u < v)
+[[nodiscard]] std::string to_text(const Graph& g);
+
+/// Parse the to_text() format. Throws std::invalid_argument on malformed
+/// input or invalid wiring.
+[[nodiscard]] Graph from_text(const std::string& text);
+
+}  // namespace rdv::graph

@@ -1,0 +1,10 @@
+#include "sim/agent.hpp"
+
+// The agent machinery is header-only (templates/awaiters); this TU
+// exists to compile the header standalone and host shared static
+// checks.
+namespace rdv::sim {
+
+static_assert(sizeof(Action) <= 16, "Action should stay small");
+
+}  // namespace rdv::sim

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "graph/topology.hpp"
+
+/// Coroutine-based agent API.
+///
+/// Algorithms are written as straight-line C++20 coroutines mirroring
+/// the paper's pseudocode:
+///
+///   Proc my_algorithm(Mailbox& mb, Observation start) {
+///     Observation o = co_await mb.move(0);   // take port 0
+///     o = co_await mb.wait(5);               // stay put 5 rounds
+///     co_await some_subprocedure(mb, o);     // procedures compose
+///   }
+///
+/// The engine resumes the coroutine chain once per completed action and
+/// delivers the resulting Observation — exactly the model of Section 1:
+/// per round an agent either stays or moves by a chosen port, and on
+/// arrival sees the degree and the entry port.
+namespace rdv::sim {
+
+/// What an agent perceives at a node (Section 1). Agents never see node
+/// identities.
+struct Observation {
+  graph::Port degree = 0;  ///< Degree of the current node.
+  /// Port by which the node was entered; nullopt at the start node and
+  /// after waiting.
+  std::optional<graph::Port> entry_port;
+  /// Agent-local clock: rounds since this agent's start.
+  std::uint64_t clock = 0;
+};
+
+/// One decision: move through a port, or stay put for `rounds` rounds
+/// (the engine fast-forwards multi-round waits).
+struct Action {
+  enum class Kind : std::uint8_t { kMove, kWait };
+  Kind kind = Kind::kWait;
+  graph::Port port = 0;          ///< For kMove.
+  std::uint64_t wait_rounds = 0; ///< For kWait; may be huge (saturating).
+
+  static Action move(graph::Port p) {
+    return Action{Kind::kMove, p, 0};
+  }
+  static Action wait(std::uint64_t rounds) {
+    return Action{Kind::kWait, 0, rounds};
+  }
+};
+
+class Mailbox;
+
+/// A composable agent procedure (a coroutine task). Procedures suspend
+/// whenever they act through the Mailbox and may co_await
+/// sub-procedures; the engine always resumes the innermost suspended
+/// frame. Move-only; destroying a Proc destroys its whole frame chain.
+class [[nodiscard]] Proc {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent frame, if any
+    std::exception_ptr error;
+
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Hand control back to the awaiting parent; for the root, back
+        // to the engine's resume() call.
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Proc() = default;
+  explicit Proc(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Proc(Proc&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  /// Awaiting a Proc runs it to completion as a sub-procedure.
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer into the child
+  }
+  void await_resume() { rethrow_if_failed(); }
+
+  /// Engine side: kick off / query the root procedure.
+  void start() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Per-agent communication cell between the engine and the coroutine
+/// chain. The innermost frame that acts registers itself as the leaf;
+/// the engine consumes the pending action, computes the observation and
+/// resumes the leaf.
+class Mailbox {
+ public:
+  /// co_await mb.move(p): traverse port p this round; resumes with the
+  /// arrival observation.
+  [[nodiscard]] auto move(graph::Port p) {
+    return ActionAwaiter{this, Action::move(p)};
+  }
+  /// co_await mb.wait(k): stay put for k rounds (k may be 0 — a no-op
+  /// round-wise; the engine re-resumes immediately but guards against
+  /// unbounded zero-wait spinning).
+  [[nodiscard]] auto wait(std::uint64_t rounds) {
+    return ActionAwaiter{this, Action::wait(rounds)};
+  }
+
+  /// Last delivered observation (also the initial one).
+  [[nodiscard]] const Observation& last() const noexcept { return last_; }
+  /// Agent-local clock of the last observation.
+  [[nodiscard]] std::uint64_t clock() const noexcept { return last_.clock; }
+
+  // --- engine side ---
+  [[nodiscard]] bool has_pending() const noexcept { return has_pending_; }
+  [[nodiscard]] Action take_action() {
+    assert(has_pending_);
+    has_pending_ = false;
+    return pending_;
+  }
+  void deliver_and_resume(const Observation& obs) {
+    last_ = obs;
+    auto leaf = std::exchange(leaf_, nullptr);
+    assert(leaf);
+    leaf.resume();
+  }
+  void set_initial(const Observation& obs) { last_ = obs; }
+
+ private:
+  struct ActionAwaiter {
+    Mailbox* mailbox;
+    Action action;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      mailbox->pending_ = action;
+      mailbox->has_pending_ = true;
+      mailbox->leaf_ = h;
+    }
+    Observation await_resume() const noexcept { return mailbox->last_; }
+  };
+
+  Action pending_{};
+  bool has_pending_ = false;
+  Observation last_{};
+  std::coroutine_handle<> leaf_;
+};
+
+/// An anonymous-agent algorithm: given the agent's mailbox and its
+/// initial observation, yields the procedure to run. Both agents of a
+/// run execute the same program (the model's anonymity); labeled
+/// variants for ablations pass different programs explicitly.
+using AgentProgram = std::function<Proc(Mailbox&, Observation)>;
+
+}  // namespace rdv::sim

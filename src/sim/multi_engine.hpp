@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "sim/agent.hpp"
+#include "sim/trace.hpp"
+
+/// k-agent synchronous engine — the substrate for the paper's
+/// "gathering" generalization (Section 1 cites [25, 37, 43]): several
+/// anonymous agents with adversarial starting rounds; gathering is all
+/// of them at one node in one round. The two-agent engine
+/// (sim/engine.hpp) is a thin wrapper over this runner.
+namespace rdv::sim {
+
+struct AgentSpec {
+  AgentProgram program;
+  graph::Node start = 0;
+  std::uint64_t start_round = 0;
+};
+
+struct MultiRunConfig {
+  std::uint64_t max_rounds = 1'000'000;
+  std::uint32_t max_zero_wait_spin = 1u << 20;
+  bool record_trace = false;
+  std::size_t trace_limit = 4096;
+  /// Stop as soon as the given pair (indices into the spec vector) has
+  /// met; -1 disables. Used by the pairwise wrapper.
+  int stop_on_pair_a = -1;
+  int stop_on_pair_b = -1;
+};
+
+inline constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+
+struct MultiRunResult {
+  /// All agents present at the same node in the same round.
+  bool gathered = false;
+  std::uint64_t gather_round_absolute = 0;
+  /// Rounds from the LAST agent's start to the gathering.
+  std::uint64_t gather_from_last_start = 0;
+  /// first_meeting[i * k + j] (i < j): absolute round agents i and j
+  /// first shared a node (both present), or kNever.
+  std::vector<std::uint64_t> first_meeting;
+  std::uint64_t rounds_simulated = 0;
+  std::uint64_t edge_crossings = 0;
+  std::vector<std::uint64_t> moves;
+  std::vector<graph::Node> final_pos;
+  bool programs_finished = false;
+  std::string error;
+  Trace trace;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] std::uint64_t meeting_of(std::size_t i, std::size_t j,
+                                         std::size_t k) const {
+    if (i > j) std::swap(i, j);
+    return first_meeting[i * k + j];
+  }
+};
+
+/// Runs all agents; terminates on gathering, on the configured pair
+/// meeting, on every program finishing, or at the round cap.
+[[nodiscard]] MultiRunResult run_multi(const graph::ITopology& g,
+                                       const std::vector<AgentSpec>& agents,
+                                       const MultiRunConfig& config = {});
+
+}  // namespace rdv::sim

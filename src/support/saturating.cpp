@@ -1,0 +1,13 @@
+#include "support/saturating.hpp"
+
+// Header-only; this TU pins the header into the build so warnings are
+// surfaced exactly once.
+namespace rdv::support {
+
+static_assert(sat_add(kRoundInfinity, 1) == kRoundInfinity);
+static_assert(sat_mul(1u << 31, std::uint64_t{1} << 34) == kRoundInfinity);
+static_assert(sat_pow(2, 64) == kRoundInfinity);
+static_assert(sat_pow(2, 10) == 1024);
+static_assert(bits_for(0) == 0 && bits_for(1) == 1 && bits_for(8) == 4);
+
+}  // namespace rdv::support

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Saturating unsigned 64-bit arithmetic.
+///
+/// Round budgets in this library follow the paper's bounds, e.g.
+/// T(n,d,delta) = [(d+delta)(n-1)^d](M+2) + 2(M+1)  (Lemma 3.3), which
+/// overflows uint64 for modest parameters. All budget arithmetic
+/// saturates at kRoundInfinity instead of wrapping; the simulation
+/// engine treats a saturated budget as "run until the caller's cap".
+namespace rdv::support {
+
+/// Sentinel for "more rounds than any simulation will ever run".
+inline constexpr std::uint64_t kRoundInfinity =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// a + b, saturating at kRoundInfinity.
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  return (a > kRoundInfinity - b) ? kRoundInfinity : a + b;
+}
+
+/// a * b, saturating at kRoundInfinity.
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > kRoundInfinity / b) return kRoundInfinity;
+  return a * b;
+}
+
+/// base^exp, saturating at kRoundInfinity.
+[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t base,
+                                              std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  while (exp > 0) {
+    if (exp & 1u) result = sat_mul(result, base);
+    exp >>= 1u;
+    if (exp > 0) base = sat_mul(base, base);
+  }
+  return result;
+}
+
+/// a - b clamped at zero (budget countdowns).
+[[nodiscard]] constexpr std::uint64_t sat_sub(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  return (a < b) ? 0 : a - b;
+}
+
+/// ceil(a / b); b must be nonzero.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// Number of bits needed to represent v (bit_width, 0 -> 0).
+[[nodiscard]] constexpr unsigned bits_for(std::uint64_t v) noexcept {
+  unsigned w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1u;
+  }
+  return w;
+}
+
+}  // namespace rdv::support

@@ -1,0 +1,9 @@
+#include "support/splitmix.hpp"
+
+namespace rdv::support {
+
+// Known-answer pin: the first output of SplitMix64(0) per the reference
+// implementation. Guards against accidental edits to the mixer.
+static_assert(SplitMix64(0).next() == 0xE220A8397B1DCDAFULL);
+
+}  // namespace rdv::support

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+/// Deterministic pseudorandom streams.
+///
+/// The library never uses wall-clock or std::rand: every "random" choice
+/// (UXS streams, random graph generation, STIC sampling) is drawn from an
+/// explicitly seeded SplitMix64 so all experiments are bit-reproducible.
+namespace rdv::support {
+
+/// SplitMix64 (Steele, Lea, Flood 2014): tiny, high-quality, and — key
+/// for us — a pure function of the seed, so sequences can be documented
+/// by a single integer in EXPERIMENTS.md.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept
+      : state_(seed) {}
+
+  /// Next 64-bit value in the stream.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be nonzero. Uses rejection
+  /// sampling so small bounds are exactly uniform.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % bound;
+  }
+
+  /// Current internal state (for checkpoint tests).
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rdv::support

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// Minimal work-stealing-free thread pool + parallel_for used by the
+/// experiment sweeps (STIC enumeration, feasibility cross-checks).
+///
+/// Design notes (per C++ Core Guidelines CP.*): tasks are plain
+/// std::function<void()>; the pool owns its threads (RAII, joined in the
+/// destructor); no detached threads; no shared mutable state beyond the
+/// queue, guarded by a single mutex.
+namespace rdv::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool with contiguous
+/// chunking. Blocks until all iterations complete. With a 1-thread pool
+/// this degrades to a serial loop (our CI box has one core; the
+/// structure still matches the HPC-sweep idiom).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace rdv::support

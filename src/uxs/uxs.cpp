@@ -1,0 +1,46 @@
+#include "uxs/uxs.hpp"
+
+#include <algorithm>
+
+#include "support/saturating.hpp"
+#include "support/splitmix.hpp"
+
+namespace rdv::uxs {
+
+Uxs::Uxs(std::vector<std::uint64_t> terms, std::string provenance)
+    : terms_(std::move(terms)), provenance_(std::move(provenance)) {}
+
+Uxs Uxs::pseudo_random(std::size_t length, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> terms(length);
+  for (auto& t : terms) t = rng.next();
+  return Uxs(std::move(terms), "splitmix64(seed=" + std::to_string(seed) +
+                                   ",len=" + std::to_string(length) + ")");
+}
+
+std::size_t Uxs::default_length(std::uint32_t n) {
+  const std::uint64_t bits = support::bits_for(std::max<std::uint32_t>(n, 1));
+  return static_cast<std::size_t>(
+      std::max<std::uint64_t>(8, 4ull * n * n * bits));
+}
+
+std::vector<graph::Node> apply_uxs(const graph::ITopology& g, graph::Node u,
+                                   const Uxs& y) {
+  std::vector<graph::Node> nodes;
+  nodes.reserve(y.length() + 2);
+  nodes.push_back(u);
+  // First step: port 0 (Algorithm 1 line 5; degree >= 1 in connected
+  // graphs of size >= 2).
+  graph::Step s = g.step(u, 0);
+  nodes.push_back(s.to);
+  for (std::uint64_t a : y.terms()) {
+    const graph::Port d = g.degree(s.to);
+    const graph::Port next_port =
+        static_cast<graph::Port>((s.entry_port + a) % d);
+    s = g.step(s.to, next_port);
+    nodes.push_back(s.to);
+  }
+  return nodes;
+}
+
+}  // namespace rdv::uxs

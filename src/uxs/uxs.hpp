@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+/// Universal Exploration Sequences (Section 2, after Koucky/Reingold).
+///
+/// A sequence Y(n) = (a_1..a_M) of relative port increments is a UXS for
+/// graphs of size n when its application R(u) from ANY start node u of
+/// ANY such graph visits all nodes. Application semantics: u_0 = u,
+/// u_1 = succ(u_0, 0), then u_{i+1} = succ(u_i, (p + a_i) mod d(u_i))
+/// where p is the port by which u_i was entered.
+///
+/// The paper only needs existence (polynomial length, Reingold); no
+/// practical explicit construction exists, so this library substitutes
+/// deterministic fixed-seed pseudorandom streams plus an explicit
+/// verifier and a corpus-verified builder (see DESIGN.md §2.1). Every
+/// experiment validates the UXS property on the graphs it touches.
+namespace rdv::uxs {
+
+inline constexpr std::uint64_t kDefaultSeed = 0x5EEDUL;
+
+class Uxs {
+ public:
+  Uxs(std::vector<std::uint64_t> terms, std::string provenance);
+
+  [[nodiscard]] std::span<const std::uint64_t> terms() const noexcept {
+    return terms_;
+  }
+  /// M — the number of relative-increment terms. The application path
+  /// has M + 1 edges (the initial port-0 step plus one per term).
+  [[nodiscard]] std::size_t length() const noexcept { return terms_.size(); }
+  [[nodiscard]] const std::string& provenance() const noexcept {
+    return provenance_;
+  }
+
+  /// Deterministic pseudorandom candidate stream of the given length.
+  [[nodiscard]] static Uxs pseudo_random(std::size_t length,
+                                         std::uint64_t seed = kDefaultSeed);
+
+  /// The "safe" default length for size-n graphs used when no
+  /// corpus-verified sequence is requested: 4 n^2 (floor(log2 n) + 1),
+  /// min 8. (Polynomial, matching the paper's requirement; far shorter
+  /// than worst-case constructions, hence the verifier.)
+  [[nodiscard]] static std::size_t default_length(std::uint32_t n);
+
+ private:
+  std::vector<std::uint64_t> terms_;
+  std::string provenance_;
+};
+
+/// The application R(u) of Y at u: the full node sequence
+/// (u_0 .. u_{M+1}). Offline observer-side walk (agents traverse the
+/// same application physically through the engine).
+[[nodiscard]] std::vector<graph::Node> apply_uxs(const graph::ITopology& g,
+                                                 graph::Node u,
+                                                 const Uxs& y);
+
+/// A provider maps an assumed graph size n to the canonical Y(n) both
+/// agents use. Must be deterministic: agents are anonymous copies.
+using UxsProvider = std::function<Uxs(std::uint32_t)>;
+
+}  // namespace rdv::uxs

@@ -1,0 +1,44 @@
+#include "uxs/verifier.hpp"
+
+#include <algorithm>
+
+namespace rdv::uxs {
+
+CoverageReport check_coverage(const graph::Graph& g, const Uxs& y) {
+  CoverageReport report;
+  report.universal = true;
+  const std::uint32_t n = g.size();
+  for (graph::Node u = 0; u < n; ++u) {
+    const std::vector<graph::Node> walk = apply_uxs(g, u, y);
+    std::vector<bool> seen(n, false);
+    std::uint32_t covered = 0;
+    std::size_t steps_needed = 0;
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      if (!seen[walk[i]]) {
+        seen[walk[i]] = true;
+        ++covered;
+        steps_needed = i;
+      }
+      if (covered == n) break;
+    }
+    if (covered < n) {
+      report.universal = false;
+      report.failing_starts.push_back(u);
+      report.worst_missing = std::max(report.worst_missing, n - covered);
+    } else {
+      // walk index i corresponds to i-1 terms consumed (index 1 is the
+      // initial port-0 step).
+      const std::size_t terms_used = steps_needed > 0 ? steps_needed - 1 : 0;
+      report.sufficient_prefix =
+          std::max(report.sufficient_prefix, terms_used);
+    }
+  }
+  if (!report.universal) report.sufficient_prefix = 0;
+  return report;
+}
+
+bool is_uxs_for(const graph::Graph& g, const Uxs& y) {
+  return check_coverage(g, y).universal;
+}
+
+}  // namespace rdv::uxs

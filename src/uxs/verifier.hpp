@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "uxs/uxs.hpp"
+
+/// Verification of the UXS property on concrete graphs.
+namespace rdv::uxs {
+
+struct CoverageReport {
+  /// True iff the application from every start node visits all nodes.
+  bool universal = false;
+  /// Start nodes whose application missed at least one node.
+  std::vector<graph::Node> failing_starts;
+  /// Over all starts, the maximum number of nodes left unvisited.
+  std::uint32_t worst_missing = 0;
+  /// Smallest prefix length (number of terms) sufficient for full
+  /// coverage from every start; only meaningful when universal.
+  std::size_t sufficient_prefix = 0;
+};
+
+/// Full coverage check of y on g.
+[[nodiscard]] CoverageReport check_coverage(const graph::Graph& g,
+                                            const Uxs& y);
+
+/// Convenience: is y a UXS for this particular graph?
+[[nodiscard]] bool is_uxs_for(const graph::Graph& g, const Uxs& y);
+
+}  // namespace rdv::uxs

@@ -1,0 +1,24 @@
+#include "views/quotient.hpp"
+
+namespace rdv::views {
+
+QuotientGraph build_quotient(const graph::Graph& g,
+                             const ViewClasses& classes) {
+  QuotientGraph q;
+  q.arcs.resize(classes.class_count);
+  q.multiplicity.assign(classes.class_count, 0);
+  std::vector<bool> seen(classes.class_count, false);
+  for (graph::Node v = 0; v < g.size(); ++v) {
+    const std::uint32_t c = classes.class_of[v];
+    ++q.multiplicity[c];
+    if (seen[c]) continue;
+    seen[c] = true;
+    q.arcs[c].reserve(g.degree(v));
+    for (const graph::HalfEdge& e : g.edges(v)) {
+      q.arcs[c].push_back(QuotientArc{classes.class_of[e.to], e.rev_port});
+    }
+  }
+  return q;
+}
+
+}  // namespace rdv::views

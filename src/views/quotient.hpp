@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "views/refinement.hpp"
+
+/// Quotient of a graph by view equivalence.
+///
+/// The quotient is what an anonymous agent can at best learn about its
+/// environment (it may have self-loops and parallel arcs, so it is not a
+/// `Graph`). Used by analysis and the label ablation (T9).
+namespace rdv::views {
+
+struct QuotientArc {
+  std::uint32_t to_class;
+  graph::Port rev_port;
+};
+
+struct QuotientGraph {
+  /// arcs[c][p] = where port p leads from class c.
+  std::vector<std::vector<QuotientArc>> arcs;
+  /// Number of original nodes in each class.
+  std::vector<std::uint32_t> multiplicity;
+
+  [[nodiscard]] std::uint32_t class_count() const {
+    return static_cast<std::uint32_t>(arcs.size());
+  }
+};
+
+/// Builds the quotient from a stable partition. Well-defined because
+/// same-class nodes have identical (class, reverse-port) port profiles.
+[[nodiscard]] QuotientGraph build_quotient(const graph::Graph& g,
+                                           const ViewClasses& classes);
+
+}  // namespace rdv::views

@@ -1,0 +1,110 @@
+#include <algorithm>
+#include "views/refinement.hpp"
+
+#include <map>
+
+namespace rdv::views {
+
+using graph::Graph;
+using graph::Node;
+using graph::Port;
+
+ViewClasses compute_view_classes(const Graph& g) {
+  const std::uint32_t n = g.size();
+  ViewClasses out;
+  out.class_of.assign(n, 0);
+
+  // Initial partition: by degree.
+  {
+    std::map<Port, std::uint32_t> ids;
+    for (Node v = 0; v < n; ++v) {
+      auto [it, _] = ids.try_emplace(g.degree(v),
+                                     static_cast<std::uint32_t>(ids.size()));
+      out.class_of[v] = it->second;
+    }
+    out.class_count = static_cast<std::uint32_t>(ids.size());
+  }
+
+  // Refine: the signature of v is its class plus, per port in order, the
+  // (neighbor class, reverse port) pair. Iterate to a fixpoint; one
+  // extra confirming round is implicit in the "count unchanged" exit.
+  using Signature = std::vector<std::uint64_t>;
+  for (;;) {
+    ++out.rounds;
+    std::map<Signature, std::uint32_t> ids;
+    std::vector<std::uint32_t> next(n);
+    for (Node v = 0; v < n; ++v) {
+      Signature sig;
+      sig.reserve(1 + g.degree(v));
+      sig.push_back(out.class_of[v]);
+      for (const graph::HalfEdge& e : g.edges(v)) {
+        sig.push_back((static_cast<std::uint64_t>(out.class_of[e.to]) << 32) |
+                      e.rev_port);
+      }
+      auto [it, _] =
+          ids.try_emplace(std::move(sig), static_cast<std::uint32_t>(ids.size()));
+      next[v] = it->second;
+    }
+    const auto count = static_cast<std::uint32_t>(ids.size());
+    if (count == out.class_count) break;  // partition stable
+    out.class_of = std::move(next);
+    out.class_count = count;
+  }
+  return out;
+}
+
+bool symmetric(const Graph& g, Node u, Node v) {
+  return compute_view_classes(g).symmetric(u, v);
+}
+
+std::uint32_t view_distance(const Graph& g, Node u, Node v) {
+  // Depth-k view equality is exactly equality after k refinement
+  // rounds starting from the degree partition.
+  const std::uint32_t n = g.size();
+  std::vector<std::uint32_t> classes(n);
+  {
+    std::map<Port, std::uint32_t> ids;
+    for (Node w = 0; w < n; ++w) {
+      auto [it, _] = ids.try_emplace(g.degree(w),
+                                     static_cast<std::uint32_t>(ids.size()));
+      classes[w] = it->second;
+    }
+  }
+  if (classes[u] != classes[v]) return 0;
+  std::uint32_t count =
+      *std::max_element(classes.begin(), classes.end()) + 1;
+  for (std::uint32_t depth = 1;; ++depth) {
+    using Signature = std::vector<std::uint64_t>;
+    std::map<Signature, std::uint32_t> ids;
+    std::vector<std::uint32_t> next(n);
+    for (Node w = 0; w < n; ++w) {
+      Signature sig;
+      sig.push_back(classes[w]);
+      for (const graph::HalfEdge& e : g.edges(w)) {
+        sig.push_back((static_cast<std::uint64_t>(classes[e.to]) << 32) |
+                      e.rev_port);
+      }
+      auto [it, _] = ids.try_emplace(std::move(sig),
+                                     static_cast<std::uint32_t>(ids.size()));
+      next[w] = it->second;
+    }
+    if (next[u] != next[v]) return depth;
+    const auto new_count = static_cast<std::uint32_t>(ids.size());
+    if (new_count == count) return kViewsEqual;  // stable: symmetric
+    classes = std::move(next);
+    count = new_count;
+  }
+}
+
+std::vector<std::pair<Node, Node>> symmetric_pairs(const Graph& g) {
+  const ViewClasses classes = compute_view_classes(g);
+  std::vector<std::pair<Node, Node>> pairs;
+  for (Node u = 0; u < g.size(); ++u) {
+    for (Node v = u + 1; v < g.size(); ++v) {
+      if (classes.symmetric(u, v)) pairs.emplace_back(u, v);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace rdv::views

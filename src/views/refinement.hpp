@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// Symmetry detection via partition refinement.
+///
+/// Two nodes are symmetric (Section 2) when their views — the infinite
+/// trees of port-coded paths of Yamashita–Kameda — are equal. Views are
+/// equal iff they agree to depth n-1, and the classes of the iterated
+/// degree/port refinement below stabilize to exactly the
+/// view-equivalence classes, so symmetry is decidable in O(n^2 * m)
+/// without materializing views.
+namespace rdv::views {
+
+struct ViewClasses {
+  /// class_of[v] = stable class id; ids are dense, ordered by first
+  /// occurrence in node order (so they are canonical for a given graph).
+  std::vector<std::uint32_t> class_of;
+  std::uint32_t class_count = 0;
+  /// Number of refinement rounds until the partition stabilized.
+  std::uint32_t rounds = 0;
+
+  [[nodiscard]] bool symmetric(graph::Node u, graph::Node v) const {
+    return class_of[u] == class_of[v];
+  }
+};
+
+/// Computes the stable view-equivalence partition.
+[[nodiscard]] ViewClasses compute_view_classes(const graph::Graph& g);
+
+/// Convenience: are u and v symmetric in g?
+[[nodiscard]] bool symmetric(const graph::Graph& g, graph::Node u,
+                             graph::Node v);
+
+/// All symmetric pairs (u, v) with u < v.
+[[nodiscard]] std::vector<std::pair<graph::Node, graph::Node>>
+symmetric_pairs(const graph::Graph& g);
+
+/// Sentinel for view_distance on symmetric pairs.
+inline constexpr std::uint32_t kViewsEqual = static_cast<std::uint32_t>(-1);
+
+/// The smallest depth at which the views of u and v differ (0 = their
+/// degrees already differ), or kViewsEqual when symmetric. Quantifies
+/// how much exploration an agent needs before its observations can
+/// distinguish the two starting positions.
+[[nodiscard]] std::uint32_t view_distance(const graph::Graph& g,
+                                          graph::Node u, graph::Node v);
+
+}  // namespace rdv::views

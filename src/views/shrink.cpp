@@ -1,0 +1,90 @@
+#include "views/shrink.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace rdv::views {
+
+using graph::Graph;
+using graph::Node;
+using graph::Port;
+
+ShrinkResult shrink_with_witness(const Graph& g, Node u, Node v) {
+  const std::uint64_t n = g.size();
+  const auto pair_id = [n](Node a, Node b) -> std::uint64_t {
+    return static_cast<std::uint64_t>(a) * n + b;
+  };
+
+  // Product BFS over ordered pairs; parent pointers (pair, port) let us
+  // reconstruct the witness sequence.
+  struct Parent {
+    std::uint64_t from;
+    Port port;
+  };
+  std::unordered_map<std::uint64_t, Parent> parents;
+  std::queue<std::uint64_t> queue;
+  const std::uint64_t start = pair_id(u, v);
+  parents.emplace(start, Parent{start, 0});
+  queue.push(start);
+
+  // Distances to every node from every *distinct second coordinate* we
+  // meet would be wasteful; instead gather reachable pairs first, then
+  // BFS per distinct first coordinate.
+  std::vector<std::uint64_t> reachable;
+  while (!queue.empty()) {
+    const std::uint64_t id = queue.front();
+    queue.pop();
+    reachable.push_back(id);
+    const Node a = static_cast<Node>(id / n);
+    const Node b = static_cast<Node>(id % n);
+    const Port common = std::min(g.degree(a), g.degree(b));
+    for (Port p = 0; p < common; ++p) {
+      const Node a2 = g.step(a, p).to;
+      const Node b2 = g.step(b, p).to;
+      const std::uint64_t id2 = pair_id(a2, b2);
+      if (parents.emplace(id2, Parent{id, p}).second) queue.push(id2);
+    }
+  }
+
+  // Minimum distance over reachable pairs, grouped by first coordinate
+  // so each BFS is reused.
+  std::sort(reachable.begin(), reachable.end());
+  ShrinkResult out;
+  out.shrink = graph::kUnreachable;
+  out.pairs_explored = reachable.size();
+  std::uint64_t best_pair = start;
+  std::vector<std::uint32_t> dist;
+  Node dist_source = graph::kNoNode;
+  for (const std::uint64_t id : reachable) {
+    const Node a = static_cast<Node>(id / n);
+    const Node b = static_cast<Node>(id % n);
+    if (a != dist_source) {
+      dist = graph::bfs_distances(g, a);
+      dist_source = a;
+    }
+    if (dist[b] < out.shrink) {
+      out.shrink = dist[b];
+      best_pair = id;
+      if (out.shrink == 0) break;
+    }
+  }
+
+  // Reconstruct the witness port sequence.
+  out.closest_u = static_cast<Node>(best_pair / n);
+  out.closest_v = static_cast<Node>(best_pair % n);
+  std::uint64_t cursor = best_pair;
+  while (cursor != start) {
+    const Parent& p = parents.at(cursor);
+    out.witness.push_back(p.port);
+    cursor = p.from;
+  }
+  std::reverse(out.witness.begin(), out.witness.end());
+  return out;
+}
+
+std::uint32_t shrink(const Graph& g, Node u, Node v) {
+  return shrink_with_witness(g, u, v).shrink;
+}
+
+}  // namespace rdv::views

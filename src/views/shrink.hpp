@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// Shrink(u, v) — Definition 3.1: the smallest distance between
+/// alpha(u) and alpha(v) over all port sequences alpha (applying the
+/// SAME outgoing ports at both nodes). The feasibility characterization
+/// (Corollary 3.1) is: a STIC [(u,v), delta] with symmetric u, v is
+/// feasible iff delta >= Shrink(u, v).
+namespace rdv::views {
+
+struct ShrinkResult {
+  /// The Shrink value (graph::kUnreachable never occurs: the empty
+  /// sequence witnesses dist(u, v)).
+  std::uint32_t shrink = 0;
+  /// A shortest-in-BFS-order port sequence achieving it.
+  std::vector<graph::Port> witness;
+  /// The closest reachable pair (alpha(u), alpha(v)).
+  graph::Node closest_u = graph::kNoNode;
+  graph::Node closest_v = graph::kNoNode;
+  /// Number of ordered pairs explored by the product BFS (cost metric).
+  std::uint64_t pairs_explored = 0;
+};
+
+/// Exact Shrink by BFS over the pair space {(alpha(u), alpha(v))}. A
+/// port p is applicable at a pair (a, b) when p < min(deg(a), deg(b)) —
+/// along symmetric pairs degrees always agree, so nothing is lost.
+/// Cost: O(n^2 * max_degree) time, O(n^2) space.
+[[nodiscard]] ShrinkResult shrink_with_witness(const graph::Graph& g,
+                                               graph::Node u,
+                                               graph::Node v);
+
+/// Just the value.
+[[nodiscard]] std::uint32_t shrink(const graph::Graph& g, graph::Node u,
+                                   graph::Node v);
+
+}  // namespace rdv::views

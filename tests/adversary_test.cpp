@@ -1,0 +1,142 @@
+// Property tests for the adversary argument inside Lemma 3.1: two
+// agents on symmetric starting nodes that follow the SAME outgoing
+// port sequence observe identical histories (degrees and entry ports)
+// and remain on symmetric nodes forever — which is why no deterministic
+// algorithm can make them act differently.
+#include <gtest/gtest.h>
+
+#include "graph/families/families.hpp"
+#include "graph/families/qhat.hpp"
+#include "graph/walk.hpp"
+#include "support/splitmix.hpp"
+#include "views/refinement.hpp"
+
+namespace rdv::views {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+using graph::Port;
+namespace families = rdv::graph::families;
+
+/// Random common port sequence applied from a and b simultaneously; at
+/// each step the port is drawn below min(deg) so it is valid at both.
+struct LockstepWalk {
+  std::vector<Port> ports;
+  std::vector<Node> path_a;
+  std::vector<Node> path_b;
+  std::vector<Port> entries_a;
+  std::vector<Port> entries_b;
+  std::vector<Port> degrees_a;
+  std::vector<Port> degrees_b;
+};
+
+LockstepWalk lockstep(const Graph& g, Node a, Node b, std::size_t steps,
+                      std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  LockstepWalk w;
+  w.path_a.push_back(a);
+  w.path_b.push_back(b);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Port common = std::min(g.degree(a), g.degree(b));
+    const Port p = static_cast<Port>(rng.next_below(common));
+    const graph::Step sa = g.step(a, p);
+    const graph::Step sb = g.step(b, p);
+    w.ports.push_back(p);
+    a = sa.to;
+    b = sb.to;
+    w.path_a.push_back(a);
+    w.path_b.push_back(b);
+    w.entries_a.push_back(sa.entry_port);
+    w.entries_b.push_back(sb.entry_port);
+    w.degrees_a.push_back(g.degree(a));
+    w.degrees_b.push_back(g.degree(b));
+  }
+  return w;
+}
+
+class AdversaryInvariant : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AdversaryInvariant, SymmetricStartsObserveIdentically) {
+  const std::vector<Graph> corpus = {
+      families::oriented_ring(7),
+      families::oriented_torus(3, 4),
+      families::hypercube(3),
+      families::symmetric_double_tree(2, 2),
+      families::qhat_explicit(3).graph,
+  };
+  const std::uint64_t seed = GetParam();
+  for (const Graph& g : corpus) {
+    const ViewClasses classes = compute_view_classes(g);
+    const auto pairs = symmetric_pairs(g);
+    ASSERT_FALSE(pairs.empty()) << g.name();
+    // Sample a few pairs per graph.
+    for (std::size_t idx = 0; idx < pairs.size();
+         idx += std::max<std::size_t>(1, pairs.size() / 5)) {
+      const auto [u, v] = pairs[idx];
+      const LockstepWalk w = lockstep(g, u, v, 64, seed);
+      // Identical observation histories...
+      EXPECT_EQ(w.entries_a, w.entries_b) << g.name();
+      EXPECT_EQ(w.degrees_a, w.degrees_b) << g.name();
+      // ...and the agents stay on symmetric (same-class) nodes.
+      for (std::size_t t = 0; t < w.path_a.size(); ++t) {
+        EXPECT_EQ(classes.class_of[w.path_a[t]],
+                  classes.class_of[w.path_b[t]])
+            << g.name() << " step " << t;
+      }
+    }
+  }
+}
+
+TEST_P(AdversaryInvariant, NonsymmetricStartsEventuallyDiverge) {
+  // Contrast: from nonsymmetric starts the SAME port sequence need not
+  // keep observations equal — and on these graphs a short lockstep walk
+  // already exposes a difference for most sampled pairs. (We assert a
+  // weaker, deterministic property: at least one sampled nonsymmetric
+  // pair diverges per graph.)
+  const std::vector<Graph> corpus = {
+      families::path_graph(6),
+      families::scrambled_ring(7, 5),
+      families::random_connected(8, 5, 21),
+  };
+  const std::uint64_t seed = GetParam();
+  for (const Graph& g : corpus) {
+    const ViewClasses classes = compute_view_classes(g);
+    bool some_divergence = false;
+    for (Node u = 0; u < g.size() && !some_divergence; ++u) {
+      for (Node v = u + 1; v < g.size(); ++v) {
+        if (classes.symmetric(u, v)) continue;
+        const LockstepWalk w = lockstep(g, u, v, 64, seed);
+        if (w.entries_a != w.entries_b || w.degrees_a != w.degrees_b) {
+          some_divergence = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(some_divergence) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversaryInvariant,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(AdversaryInvariant, LaterAgentRetracesEarlierTrajectory) {
+  // The Lemma 3.1 proof's framing: with delay delta, the path traversed
+  // by the later agent equals (as a port sequence) the earlier agent's
+  // path up to delta rounds before — here verified as node classes along
+  // the lockstep walk shifted by delta.
+  const Graph g = families::oriented_torus(3, 3);
+  const ViewClasses classes = compute_view_classes(g);
+  const LockstepWalk w = lockstep(g, 0, 4, 40, 9);
+  const std::uint64_t delta = 5;
+  for (std::size_t t = 0; t + delta < w.path_a.size(); ++t) {
+    // Earlier agent at absolute time t + delta executed the same number
+    // of actions as the later agent at its local time t.
+    EXPECT_EQ(classes.class_of[w.path_b[t]],
+              classes.class_of[w.path_a[t]]);
+  }
+}
+
+}  // namespace
+}  // namespace rdv::views

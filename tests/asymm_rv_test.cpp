@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stics.hpp"
+#include "core/asymm_rv.hpp"
+#include "core/bounds.hpp"
+#include "core/signature.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "support/saturating.hpp"
+#include "uxs/corpus.hpp"
+#include "uxs/verifier.hpp"
+#include "views/refinement.hpp"
+
+namespace rdv::core {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+using sim::RunConfig;
+using sim::RunResult;
+namespace families = rdv::graph::families;
+
+RunResult run_asymm(const Graph& g, Node u, Node v, std::uint64_t delay) {
+  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  EXPECT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
+  const std::uint64_t budget =
+      asymm_rv_time_bound(g.size(), delay, y.length());
+  RunConfig config;
+  config.max_rounds = support::sat_add(support::sat_mul(2, budget), delay);
+  return sim::run_anonymous(g, asymm_rv_program(g.size(), y, budget), u,
+                            v, delay, config);
+}
+
+TEST(Signature, SeparatesNonsymmetricNodes) {
+  // The label mechanism's load-bearing property (DESIGN.md §2.2):
+  // UXS observation traces distinguish nodes in different view classes.
+  const std::vector<Graph> corpus = {
+      families::path_graph(5),
+      families::complete(4),
+      families::scrambled_ring(7, 3),
+      families::random_connected(8, 4, 6),
+      families::balanced_tree(2, 2),
+  };
+  for (const Graph& g : corpus) {
+    const uxs::Uxs& y = uxs::cached_uxs(g.size());
+    ASSERT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
+    const auto classes = views::compute_view_classes(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = u + 1; v < g.size(); ++v) {
+        const auto su = signature_offline(g, u, g.size(), y);
+        const auto sv = signature_offline(g, v, g.size(), y);
+        if (classes.symmetric(u, v)) {
+          EXPECT_EQ(su, sv) << g.name() << " " << u << "," << v;
+        } else {
+          EXPECT_NE(su, sv) << g.name() << " " << u << "," << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Signature, PhysicalWalkMatchesOfflineComputation) {
+  // The agent-side signature_walk (through the engine) must record the
+  // exact bits signature_offline predicts from the observer side.
+  const Graph g = families::random_connected(7, 4, 31);
+  const uxs::Uxs& y = uxs::cached_uxs(7);
+  for (const Node start : {Node{0}, Node{3}, Node{6}}) {
+    std::vector<bool> physical;
+    sim::AgentProgram prog = [&](sim::Mailbox& mb,
+                                 sim::Observation) -> sim::Proc {
+      return [](sim::Mailbox& mb2, std::uint32_t n, uxs::Uxs seq,
+                std::vector<bool>* out) -> sim::Proc {
+        co_await signature_walk(mb2, n, seq, out);
+      }(mb, 7, y, &physical);
+    };
+    sim::RunConfig config;
+    config.max_rounds = 8 * (y.length() + 2);
+    const RunResult r = sim::run_pair(
+        g, prog,
+        [](sim::Mailbox& mb, sim::Observation) -> sim::Proc {
+          return [](sim::Mailbox& mb2) -> sim::Proc {
+            co_await mb2.wait(support::kRoundInfinity);
+          }(mb);
+        },
+        start, start == 0 ? 1 : 0, support::kRoundInfinity - 8, config);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(physical, signature_offline(g, start, 7, y))
+        << "start " << start;
+    // The walk ends back home (needed for budget-exactness).
+    EXPECT_EQ(r.final_pos[0], start);
+  }
+}
+
+TEST(AsymmRV, MeetsOnPathAllDelays) {
+  const Graph g = families::path_graph(5);
+  for (std::uint64_t delay : {0ull, 1ull, 2ull, 5ull}) {
+    const RunResult r = run_asymm(g, 0, 3, delay);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << "delay " << delay;
+  }
+}
+
+TEST(AsymmRV, MeetsOnAllNonsymmetricPairsOfScrambledRing) {
+  const Graph g = families::scrambled_ring(6, 19);
+  const auto classes = views::compute_view_classes(g);
+  for (Node u = 0; u < g.size(); ++u) {
+    for (Node v = 0; v < g.size(); ++v) {
+      if (u == v || classes.symmetric(u, v)) continue;
+      const RunResult r = run_asymm(g, u, v, 1);
+      ASSERT_TRUE(r.ok()) << r.error;
+      EXPECT_TRUE(r.met) << u << "," << v;
+    }
+  }
+}
+
+TEST(AsymmRV, RespectsTimeBound) {
+  const Graph g = families::path_graph(4);
+  const uxs::Uxs& y = uxs::cached_uxs(4);
+  for (std::uint64_t delay : {0ull, 2ull}) {
+    const RunResult r = run_asymm(g, 0, 2, delay);
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.met);
+    EXPECT_LE(r.meet_from_later_start,
+              asymm_rv_time_bound(4, delay, y.length()));
+  }
+}
+
+TEST(AsymmRV, ExactBudgetConsumption) {
+  // Budget-exactness is what keeps UniversalRV's phases in lockstep:
+  // whatever happens, the procedure consumes exactly its budget. Run a
+  // single agent (partner effectively absent) and check it finishes at
+  // its budget, at home.
+  const Graph g = families::path_graph(5);
+  const uxs::Uxs& y = uxs::cached_uxs(5);
+  for (const std::uint64_t budget : {0ull, 7ull, 100ull, 3001ull}) {
+    RunConfig config;
+    config.max_rounds = budget + 10;
+    const RunResult r = sim::run_pair(
+        g, asymm_rv_program(5, y, budget),
+        [](sim::Mailbox& mb, sim::Observation) -> sim::Proc {
+          return [](sim::Mailbox& mb2) -> sim::Proc {
+            co_await mb2.wait(support::kRoundInfinity);
+          }(mb);
+        },
+        0, 4, support::kRoundInfinity - 8, config);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.final_pos[0], 0u) << "budget " << budget;
+    EXPECT_TRUE(r.programs_finished || !r.met);
+  }
+}
+
+TEST(AsymmRV, OracleLabelsAlsoMeet) {
+  // Oracle mode (T9): hand the agents distinct labels directly.
+  const Graph g = families::oriented_ring(5);  // symmetric pair!
+  const uxs::Uxs& y = uxs::cached_uxs(5);
+  const std::uint64_t budget = asymm_rv_time_bound(5, 2, y.length());
+  RunConfig config;
+  config.max_rounds = 4 * budget;
+  // Symmetric positions, but distinct oracle labels break the symmetry
+  // (this models label-based rendezvous, not the anonymous setting).
+  const RunResult r = sim::run_pair(
+      g, asymm_rv_program(5, y, budget, std::vector<bool>{false, true}),
+      asymm_rv_program(5, y, budget, std::vector<bool>{true, false}), 0,
+      2, 2, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.met);
+}
+
+TEST(AsymmRV, IdenticalLabelsOnSymmetricPairNeverMeet) {
+  // Sanity: symmetric positions + equal labels = lockstep forever.
+  const Graph g = families::oriented_ring(6);
+  const uxs::Uxs& y = uxs::cached_uxs(6);
+  const std::uint64_t budget = 5'000;
+  RunConfig config;
+  config.max_rounds = 20'000;
+  const RunResult r = sim::run_anonymous(
+      g, asymm_rv_program(6, y, budget, std::vector<bool>{true, false}),
+      0, 3, 0, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.met);
+}
+
+}  // namespace
+}  // namespace rdv::core

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "support/saturating.hpp"
+
+namespace rdv::core {
+namespace {
+
+TEST(SymmBound, MatchesLemma33Formula) {
+  // T(n,d,delta) = [(d+delta)(n-1)^d](M+2) + 2(M+1).
+  // n=4, d=2, delta=3, M=10: (5 * 9) * 12 + 22 = 562.
+  EXPECT_EQ(symm_rv_time_bound(4, 2, 3, 10), 562u);
+  // n=2, d=1, delta=1, M=8: (2 * 1) * 10 + 18 = 38.
+  EXPECT_EQ(symm_rv_time_bound(2, 1, 1, 8), 38u);
+}
+
+TEST(SymmBound, SaturatesGracefully) {
+  EXPECT_EQ(symm_rv_time_bound(100, 50, 10, 1000),
+            support::kRoundInfinity);
+}
+
+TEST(SymmBound, MonotoneInEachParameter) {
+  const std::uint64_t base = symm_rv_time_bound(5, 2, 3, 16);
+  EXPECT_LT(base, symm_rv_time_bound(6, 2, 3, 16));
+  EXPECT_LT(base, symm_rv_time_bound(5, 3, 3, 16));
+  EXPECT_LT(base, symm_rv_time_bound(5, 2, 4, 16));
+  EXPECT_LT(base, symm_rv_time_bound(5, 2, 3, 17));
+}
+
+TEST(ExploreReturn, Formula) {
+  EXPECT_EQ(explore_return_rounds(0), 2u);
+  EXPECT_EQ(explore_return_rounds(10), 22u);
+}
+
+TEST(SignatureBits, Formula) {
+  // (M+1) arrivals * 2 fields * bits_for(n).
+  EXPECT_EQ(asymm_signature_bits(8, 10), 11u * 2 * 4);
+  EXPECT_EQ(asymm_signature_bits(2, 0), 1u * 2 * 2);
+}
+
+TEST(AsymmBound, GrowsPolynomiallyInDelta) {
+  const std::uint64_t M = 16;
+  const std::uint64_t at0 = asymm_rv_time_bound(6, 0, M);
+  const std::uint64_t at100 = asymm_rv_time_bound(6, 100, M);
+  const std::uint64_t at10000 = asymm_rv_time_bound(6, 10000, M);
+  EXPECT_LE(at0, at100);
+  EXPECT_LE(at100, at10000);
+  // Doubling blocks: the bound is O(bits * (E + delta)), far below
+  // exponential: for delta = 10^4 it stays under bits * 8 * (2E+delta).
+  const std::uint64_t E = explore_return_rounds(M);
+  const std::uint64_t bits = asymm_signature_bits(6, M);
+  EXPECT_LE(at10000, E + bits * 8 * (2 * E + 10000));
+}
+
+TEST(AsymmBound, CoversCriticalBlock) {
+  // The bound must include a full phase whose block length reaches
+  // 2E + delta (the meeting guarantee's requirement).
+  const std::uint64_t M = 8;
+  const std::uint64_t E = explore_return_rounds(M);
+  const std::uint64_t bits = asymm_signature_bits(4, M);
+  for (const std::uint64_t delta : {0ull, 5ull, 99ull, 4096ull}) {
+    std::uint64_t needed = E;
+    for (std::uint32_t p = 0;; ++p) {
+      const std::uint64_t block = E << (p + 2);
+      needed += bits * block;
+      if (block >= 2 * E + delta) break;
+    }
+    EXPECT_EQ(asymm_rv_time_bound(4, delta, M), needed);
+  }
+}
+
+TEST(PhaseDuration, ZeroWhenDGeN) {
+  EXPECT_EQ(universal_phase_duration(3, 3, 1, 8), 0u);
+  EXPECT_EQ(universal_phase_duration(2, 5, 1, 8), 0u);
+}
+
+TEST(PhaseDuration, AsymmOnlyWhenDeltaBelowD) {
+  const std::uint64_t M = 8;
+  const std::uint64_t asymm_only = universal_phase_duration(5, 3, 2, M);
+  EXPECT_EQ(asymm_only, 2 * (asymm_rv_time_bound(5, 2, M) + 2));
+}
+
+TEST(PhaseDuration, AddsSymmArmWhenDeltaGeD) {
+  const std::uint64_t M = 8;
+  const std::uint64_t full = universal_phase_duration(5, 2, 3, M);
+  EXPECT_EQ(full, 2 * (asymm_rv_time_bound(5, 3, M) + 3) +
+                      symm_rv_time_bound(5, 2, 3, M));
+}
+
+}  // namespace
+}  // namespace rdv::core

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "analysis/experiments.hpp"
+#include "support/saturating.hpp"
+#include "core/random_walk.hpp"
+#include "graph/families/families.hpp"
+
+namespace rdv::analysis {
+namespace {
+
+namespace families = rdv::graph::families;
+
+TEST(Experiments, MeasuredRendezvousReportsRounds) {
+  const graph::Graph g = families::two_node_graph();
+  // Two lazy walks with distinct seeds meet quickly.
+  const auto rounds = measured_rendezvous(
+      g,
+      [](sim::Mailbox& mb, sim::Observation) -> sim::Proc {
+        return [](sim::Mailbox& mb2) -> sim::Proc {
+          for (;;) co_await mb2.move(0);
+        }(mb);
+      },
+      Stic{0, 1, 3}, /*max_rounds=*/100);
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_EQ(*rounds, 0u);
+}
+
+TEST(Experiments, MeasuredRendezvousTimesOut) {
+  const graph::Graph g = families::two_node_graph();
+  const auto rounds = measured_rendezvous(
+      g,
+      [](sim::Mailbox& mb, sim::Observation) -> sim::Proc {
+        return [](sim::Mailbox& mb2) -> sim::Proc {
+          co_await mb2.wait(support::kRoundInfinity);
+        }(mb);
+      },
+      Stic{0, 1, 0}, /*max_rounds=*/50);
+  EXPECT_FALSE(rounds.has_value());
+}
+
+TEST(Experiments, RendezvousCellFormats) {
+  EXPECT_EQ(rendezvous_cell(std::optional<std::uint64_t>{42}, 100), "42");
+  EXPECT_EQ(rendezvous_cell(std::nullopt, 100), "no-meet(cap=100)");
+}
+
+TEST(Experiments, EmitTableWritesCsvWhenConfigured) {
+  support::Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  // Without the env var: prints only, returns empty.
+  unsetenv("REPRO_CSV_DIR");
+  EXPECT_TRUE(emit_table("unit_test_table", "heading", table).empty());
+  // With it: writes the CSV.
+  const std::string dir = ::testing::TempDir();
+  setenv("REPRO_CSV_DIR", dir.c_str(), 1);
+  const std::string path = emit_table("unit_test_table", "heading", table);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  unsetenv("REPRO_CSV_DIR");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rdv::analysis

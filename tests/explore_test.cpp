@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/explore.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+
+namespace rdv::core {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+using sim::AgentProgram;
+using sim::Mailbox;
+using sim::Observation;
+using sim::Proc;
+using sim::RunConfig;
+using sim::RunResult;
+namespace families = rdv::graph::families;
+
+/// Earlier agent runs one Explore; the later agent sleeps somewhere
+/// unreachable-by-meeting so we can inspect pure Explore behaviour.
+AgentProgram explore_once(std::uint32_t d, std::uint64_t delta,
+                          bool* completed, std::uint64_t* rounds_used) {
+  return [=](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2, std::uint32_t d2, std::uint64_t delta2,
+              bool* comp, std::uint64_t* used) -> Proc {
+      const std::uint64_t start = mb2.clock();
+      co_await explore(mb2, d2, delta2, kNoDeadline, 0, comp);
+      *used = mb2.clock() - start;
+    }(mb, d, delta, completed, rounds_used);
+  };
+}
+
+AgentProgram sleeper() {
+  return [](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2) -> Proc {
+      co_await mb2.wait(support::kRoundInfinity);
+    }(mb);
+  };
+}
+
+/// Number of paths of length d from u (product of degrees along all
+/// branches), by observer-side DFS — the exact iteration count of
+/// Explore.
+std::uint64_t count_paths(const Graph& g, Node u, std::uint32_t d) {
+  if (d == 0) return 1;
+  std::uint64_t total = 0;
+  for (graph::Port p = 0; p < g.degree(u); ++p) {
+    total += count_paths(g, g.step(u, p).to, d - 1);
+  }
+  return total;
+}
+
+TEST(Explore, RoundsMatchLemmaAccounting) {
+  // Each path iteration costs exactly d + delta rounds (Lemma 3.2's
+  // accounting), so a full Explore costs (#paths) * (d + delta).
+  const Graph g = families::random_connected(7, 4, 5);
+  for (std::uint32_t d : {1u, 2u, 3u}) {
+    for (std::uint64_t delta : {static_cast<std::uint64_t>(d),
+                                static_cast<std::uint64_t>(d + 2)}) {
+      bool completed = false;
+      std::uint64_t used = 0;
+      RunConfig config;
+      config.max_rounds = 1u << 22;
+      // The sleeper never spawns (huge delay): we measure Explore pure.
+      const RunResult r =
+          sim::run_pair(g, explore_once(d, delta, &completed, &used),
+                        sleeper(), 0, 1, support::kRoundInfinity - 8,
+                        config);
+      ASSERT_TRUE(r.ok()) << r.error;
+      EXPECT_TRUE(completed);
+      EXPECT_EQ(used, count_paths(g, 0, d) * (d + delta))
+          << "d=" << d << " delta=" << delta;
+    }
+  }
+}
+
+TEST(Explore, ReturnsToStartEveryTime) {
+  const Graph g = families::oriented_ring(5);
+  bool completed = false;
+  std::uint64_t used = 0;
+  const RunResult r = sim::run_pair(
+      g, explore_once(3, 5, &completed, &used), sleeper(), 0, 2,
+      support::kRoundInfinity - 8);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(completed);
+  // The agent's final position is its start node.
+  EXPECT_EQ(r.final_pos[0], 0u);
+}
+
+TEST(Explore, VisitsEveryNodeWithinRadius) {
+  // Explore(u, d, ...) traverses ALL paths of length d, so every node
+  // at distance <= d is visited: place the sleeper at each such node
+  // and expect a meet.
+  const Graph g = families::balanced_tree(2, 2);
+  const auto dist = graph::bfs_distances(g, 0);
+  for (Node v = 1; v < g.size(); ++v) {
+    bool completed = false;
+    std::uint64_t used = 0;
+    const RunResult r = sim::run_pair(
+        g, explore_once(2, 2, &completed, &used), sleeper(), 0, v, 0);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.met, dist[v] <= 2) << "node " << v;
+  }
+}
+
+TEST(Explore, DZeroIsPureWait) {
+  const Graph g = families::path_graph(3);
+  bool completed = false;
+  std::uint64_t used = 0;
+  const RunResult r = sim::run_pair(
+      g, explore_once(0, 6, &completed, &used), sleeper(), 0, 2, 0);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(used, 6u);
+  EXPECT_EQ(r.moves[0], 0u);
+}
+
+TEST(Explore, RejectsDeltaBelowD) {
+  const Graph g = families::path_graph(3);
+  bool completed = false;
+  std::uint64_t used = 0;
+  const RunResult r = sim::run_pair(
+      g, explore_once(3, 1, &completed, &used), sleeper(), 0, 2, 0);
+  EXPECT_FALSE(r.ok());  // the invalid_argument surfaces as an error
+}
+
+TEST(Explore, BudgetTruncationKeepsAgentHome) {
+  const Graph g = families::oriented_ring(6);
+  AgentProgram prog = [](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2) -> Proc {
+      bool completed = true;
+      // Budget for only a couple of iterations of cost (2+4)=6 each.
+      co_await explore(mb2, 2, 4, /*end_clock=*/13, /*reserve=*/0,
+                       &completed);
+      EXPECT_FALSE(completed);
+      EXPECT_LE(mb2.clock(), 13u);
+      // Level off the rest of the budget at home.
+      if (mb2.clock() < 13) co_await mb2.wait(13 - mb2.clock());
+    }(mb);
+  };
+  const RunResult r = sim::run_pair(g, prog, sleeper(), 0, 3, 0);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.final_pos[0], 0u);
+}
+
+TEST(Explore, LexicographicOrderIsRespected) {
+  // On the oriented ring the first path of length 2 is (0,0) and the
+  // last is (1,1); record the sequence of visited nodes and check the
+  // first and last excursions.
+  const Graph g = families::oriented_ring(7);
+  RunConfig config;
+  config.record_trace = true;
+  bool completed = false;
+  std::uint64_t used = 0;
+  const RunResult r =
+      sim::run_pair(g, explore_once(2, 2, &completed, &used), sleeper(),
+                    0, 3, 0, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  // Trace: spawns, then moves. First excursion: 0 ->1 ->2 ->1 ->0
+  // (path (0,0) out and back).
+  std::vector<Node> moves;
+  for (const auto& e : r.trace.events()) {
+    if (e.agent == 0 && e.via_port != sim::kNoPort) moves.push_back(e.node);
+  }
+  ASSERT_GE(moves.size(), 4u);
+  EXPECT_EQ(moves[0], 1u);
+  EXPECT_EQ(moves[1], 2u);
+  EXPECT_EQ(moves[2], 1u);
+  EXPECT_EQ(moves[3], 0u);
+  // Last excursion (path (1,1)): 0 ->6 ->5 ->6 ->0.
+  const std::size_t m = moves.size();
+  EXPECT_EQ(moves[m - 4], 6u);
+  EXPECT_EQ(moves[m - 3], 5u);
+  EXPECT_EQ(moves[m - 2], 6u);
+  EXPECT_EQ(moves[m - 1], 0u);
+}
+
+}  // namespace
+}  // namespace rdv::core

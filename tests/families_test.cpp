@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "graph/families/families.hpp"
+
+namespace rdv::graph::families {
+namespace {
+
+TEST(OrientedRing, Structure) {
+  const Graph g = oriented_ring(6);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (Node v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+    EXPECT_EQ(g.step(v, 0).to, (v + 1) % 6);
+    EXPECT_EQ(g.step(v, 1).to, (v + 5) % 6);
+  }
+  EXPECT_THROW(oriented_ring(2), std::invalid_argument);
+}
+
+TEST(ScrambledRing, ValidAndDeterministic) {
+  const Graph a = scrambled_ring(9, 5);
+  const Graph b = scrambled_ring(9, 5);
+  EXPECT_TRUE(a.validate().empty());
+  for (Node v = 0; v < a.size(); ++v) {
+    for (Port p = 0; p < a.degree(v); ++p) {
+      EXPECT_EQ(a.step(v, p), b.step(v, p));
+    }
+  }
+}
+
+TEST(OrientedTorus, Structure) {
+  const Graph g = oriented_torus(4, 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.edge_count(), 24u);
+  for (Node v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+    // East then West returns home; South then North returns home.
+    EXPECT_EQ(g.step(g.step(v, 0).to, 2).to, v);
+    EXPECT_EQ(g.step(g.step(v, 1).to, 3).to, v);
+  }
+  EXPECT_THROW(oriented_torus(2, 5), std::invalid_argument);
+}
+
+TEST(OrientedTorus, DistancesMatchManhattanWraps) {
+  const Graph g = oriented_torus(5, 4);
+  // node (x, y) = y*5 + x; distance((0,0),(2,3)) = 2 + 1 (wrap).
+  EXPECT_EQ(distance(g, 0, 3 * 5 + 2), 3u);
+}
+
+TEST(Hypercube, Structure) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.size(), 16u);
+  for (Node v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+    for (Port i = 0; i < 4; ++i) {
+      EXPECT_EQ(g.step(v, i).to, v ^ (1u << i));
+      EXPECT_EQ(g.step(v, i).entry_port, i);
+    }
+  }
+}
+
+TEST(Complete, PortConvention) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (Node u = 0; u < 5; ++u) {
+    EXPECT_EQ(g.degree(u), 4u);
+    for (Port p = 0; p < 4; ++p) {
+      const Node expect = (p < u) ? p : p + 1;
+      EXPECT_EQ(g.step(u, p).to, expect);
+    }
+  }
+}
+
+TEST(PathGraph, Structure) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(4), 1u);
+  for (Node v = 1; v < 4; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+    EXPECT_EQ(g.step(v, 0).to, v - 1);
+    EXPECT_EQ(g.step(v, 1).to, v + 1);
+  }
+  EXPECT_EQ(two_node_graph().size(), 2u);
+}
+
+TEST(BalancedTree, SizesAndDegrees) {
+  const Graph g = balanced_tree(2, 3);  // 1+2+4+8 = 15 nodes
+  EXPECT_EQ(g.size(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_EQ(g.degree(0), 2u);  // root: two children
+}
+
+TEST(SymmetricDoubleTree, MirrorStructure) {
+  const Graph g = symmetric_double_tree(2, 2);  // halves of 7, total 14
+  EXPECT_EQ(g.size(), 14u);
+  const Node half = 7;
+  // The central edge uses port `branching` = 2 at both roots.
+  EXPECT_EQ(g.step(0, 2).to, half);
+  EXPECT_EQ(g.step(half, 2).to, 0u);
+  EXPECT_EQ(g.step(0, 2).entry_port, 2u);
+  EXPECT_EQ(double_tree_mirror(g, 3), 3 + half);
+  EXPECT_EQ(double_tree_mirror(g, 3 + half), 3u);
+  // Mirrored steps agree: the automorphism is port-preserving.
+  for (Node v = 0; v < half; ++v) {
+    ASSERT_EQ(g.degree(v), g.degree(v + half));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(double_tree_mirror(g, g.step(v, p).to),
+                g.step(v + half, p).to);
+      EXPECT_EQ(g.step(v, p).entry_port, g.step(v + half, p).entry_port);
+    }
+  }
+}
+
+TEST(Grid, StructureAndDegrees) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.edge_count(), 2u * 4 + 3u * 3);  // (w-1)h + w(h-1)
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(1), 3u);   // edge
+  EXPECT_EQ(g.degree(4), 4u);   // interior (x=1,y=1)
+  // Interior node ports follow E,S,W,N: from (1,1)=4, port 0 is East.
+  EXPECT_EQ(g.step(4, 0).to, 5u);
+  EXPECT_EQ(g.step(4, 1).to, 7u);
+  EXPECT_THROW(grid(1, 5), std::invalid_argument);
+}
+
+TEST(Star, HubAndLeaves) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (Node leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_EQ(g.degree(leaf), 1u);
+    EXPECT_EQ(g.step(leaf, 0).to, 0u);
+    EXPECT_EQ(g.step(0, leaf - 1).to, leaf);
+  }
+}
+
+TEST(CompleteBipartite, Wiring) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);  // left side sees all of the right
+  EXPECT_EQ(g.degree(2), 2u);  // right side sees all of the left
+  EXPECT_EQ(g.step(0, 1).to, 3u);
+  EXPECT_EQ(g.step(3, 0).to, 0u);
+}
+
+TEST(RingWithChord, Structure) {
+  const Graph g = ring_with_chord(8);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(4), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.step(0, 2).to, 4u);
+  EXPECT_THROW(ring_with_chord(7), std::invalid_argument);
+}
+
+TEST(RandomConnected, ValidDeterministicAndSized) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = random_connected(15, 10, seed);
+    EXPECT_TRUE(g.validate().empty());
+    EXPECT_EQ(g.size(), 15u);
+    EXPECT_EQ(g.edge_count(), 14u + 10u);
+  }
+  EXPECT_THROW(random_connected(5, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdv::graph::families

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/explore.hpp"
+#include "graph/families/families.hpp"
+#include "sim/multi_engine.hpp"
+#include "support/saturating.hpp"
+#include "uxs/corpus.hpp"
+#include "uxs/uxs.hpp"
+
+namespace rdv::sim {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+namespace families = rdv::graph::families;
+
+AgentProgram sleeper() {
+  return [](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2) -> Proc {
+      co_await mb2.wait(support::kRoundInfinity);
+    }(mb);
+  };
+}
+
+AgentProgram forward_forever() {
+  return [](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2) -> Proc {
+      for (;;) co_await mb2.move(0);
+    }(mb);
+  };
+}
+
+/// Walk to a fixed port once, then halt there.
+AgentProgram step_once(graph::Port p) {
+  return [p](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2, graph::Port port) -> Proc {
+      co_await mb2.move(port);
+      co_await mb2.wait(support::kRoundInfinity);
+    }(mb, p);
+  };
+}
+
+TEST(MultiEngine, ThreeAgentsGatherOnPath) {
+  const Graph g = families::path_graph(3);
+  std::vector<AgentSpec> specs;
+  specs.push_back({step_once(0), 0, 0});   // 0 -> 1 (its only port)
+  specs.push_back({sleeper(), 1, 0});      // stays at 1
+  specs.push_back({step_once(0), 2, 2});   // spawns late, 2 -> 1
+  const MultiRunResult r = run_multi(g, specs);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.gathered);
+  EXPECT_EQ(r.gather_round_absolute, 3u);  // last agent moves at round 3
+  EXPECT_EQ(r.gather_from_last_start, 1u);
+  // Pairwise: agents 0 and 1 met at round 1 already.
+  EXPECT_EQ(r.meeting_of(0, 1, 3), 1u);
+  EXPECT_EQ(r.meeting_of(0, 2, 3), 3u);
+}
+
+TEST(MultiEngine, RotatingRingNeverGathers) {
+  const Graph g = families::oriented_ring(6);
+  std::vector<AgentSpec> specs;
+  for (const Node start : {Node{0}, Node{2}, Node{4}}) {
+    specs.push_back({forward_forever(), start, 0});
+  }
+  MultiRunConfig config;
+  config.max_rounds = 2000;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.gathered);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_EQ(r.meeting_of(i, j, 3), kNever);
+    }
+  }
+}
+
+TEST(MultiEngine, WaitingForMommy) {
+  // The paper's reduction (Section 1): with roles assigned, non-leaders
+  // wait and the leader explores — the leader meets every waiter.
+  const Graph g = families::random_connected(9, 4, 13);
+  const auto& y = uxs::cached_uxs(9);
+  AgentProgram leader = [&y](Mailbox& mb, Observation) -> Proc {
+    return [](Mailbox& mb2, uxs::Uxs seq) -> Proc {
+      // Walk the UXS application (covers all nodes), then halt.
+      Observation o = co_await mb2.move(0);
+      for (std::uint64_t a : seq.terms()) {
+        o = co_await mb2.move(
+            static_cast<graph::Port>((*o.entry_port + a) % o.degree));
+      }
+      co_await mb2.wait(support::kRoundInfinity);
+    }(mb, y);
+  };
+  std::vector<AgentSpec> specs;
+  specs.push_back({leader, 0, 0});
+  specs.push_back({sleeper(), 3, 0});
+  specs.push_back({sleeper(), 5, 0});
+  specs.push_back({sleeper(), 8, 0});
+  MultiRunConfig config;
+  config.max_rounds = 8 * (y.length() + 2);
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.gathered);  // waiters sit at distinct nodes forever
+  for (std::size_t w = 1; w < specs.size(); ++w) {
+    EXPECT_NE(r.meeting_of(0, w, specs.size()), kNever)
+        << "leader never reached waiter " << w;
+  }
+  // Waiters at distinct nodes never meet each other.
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_EQ(r.meeting_of(i, j, specs.size()), kNever);
+    }
+  }
+}
+
+TEST(MultiEngine, SingleAgentGathersTrivially) {
+  const Graph g = families::path_graph(2);
+  std::vector<AgentSpec> specs;
+  specs.push_back({sleeper(), 0, 0});
+  const MultiRunResult r = run_multi(g, specs);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.gathered);
+  EXPECT_EQ(r.gather_round_absolute, 0u);
+}
+
+TEST(MultiEngine, StaggeredSpawnsTracked) {
+  const Graph g = families::path_graph(4);
+  std::vector<AgentSpec> specs;
+  specs.push_back({sleeper(), 0, 0});
+  specs.push_back({sleeper(), 3, 7});
+  MultiRunConfig config;
+  config.max_rounds = 100;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.gathered);
+  EXPECT_EQ(r.final_pos[0], 0u);
+  EXPECT_EQ(r.final_pos[1], 3u);
+  EXPECT_EQ(r.moves[0], 0u);
+}
+
+TEST(MultiEngine, ErrorsPropagateWithAgentIndex) {
+  const Graph g = families::path_graph(3);
+  std::vector<AgentSpec> specs;
+  specs.push_back({sleeper(), 0, 0});
+  specs.push_back({sleeper(), 1, 0});
+  specs.push_back({[](Mailbox& mb, Observation) -> Proc {
+                     return [](Mailbox& mb2) -> Proc {
+                       co_await mb2.move(9);  // invalid port
+                     }(mb);
+                   },
+                   2, 0});
+  const MultiRunResult r = run_multi(g, specs);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("agent 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdv::sim

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pairing.hpp"
+
+namespace rdv::core {
+namespace {
+
+TEST(CantorF, PaperFormulaValues) {
+  // f(x,y) = x + (x+y-1)(x+y-2)/2: the diagonal enumeration.
+  EXPECT_EQ(cantor_f(1, 1), 1u);
+  EXPECT_EQ(cantor_f(1, 2), 2u);
+  EXPECT_EQ(cantor_f(2, 1), 3u);
+  EXPECT_EQ(cantor_f(1, 3), 4u);
+  EXPECT_EQ(cantor_f(2, 2), 5u);
+  EXPECT_EQ(cantor_f(3, 1), 6u);
+}
+
+TEST(CantorF, BijectionOnPrefix) {
+  // Every w in [1, 5000] decodes to a unique (x, y) that encodes back.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t w = 1; w <= 5000; ++w) {
+    const auto [x, y] = cantor_f_inverse(w);
+    EXPECT_GE(x, 1u);
+    EXPECT_GE(y, 1u);
+    EXPECT_EQ(cantor_f(x, y), w);
+    EXPECT_TRUE(seen.emplace(x, y).second);
+  }
+}
+
+TEST(CantorF, InverseOfLargeValues) {
+  for (const std::uint64_t w :
+       {std::uint64_t{1} << 20, std::uint64_t{1} << 40,
+        (std::uint64_t{1} << 40) + 12345}) {
+    const auto [x, y] = cantor_f_inverse(w);
+    EXPECT_EQ(cantor_f(x, y), w);
+  }
+}
+
+TEST(PhaseCoding, RoundTripTriples) {
+  for (std::uint64_t n = 1; n <= 12; ++n) {
+    for (std::uint64_t d = 1; d <= 12; ++d) {
+      for (std::uint64_t delta = 1; delta <= 12; ++delta) {
+        const PhaseTriple t{n, d, delta};
+        EXPECT_EQ(phase_decode(phase_encode(t)), t);
+      }
+    }
+  }
+}
+
+TEST(PhaseCoding, EnumeratesAllTriplesOnPrefix) {
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t P = 1; P <= 3000; ++P) {
+    const PhaseTriple t = phase_decode(P);
+    EXPECT_EQ(phase_encode(t), P);
+    EXPECT_TRUE(seen.emplace(t.n, t.d, t.delta).second);
+  }
+  // The prefix covers a full cube of small triples.
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    for (std::uint64_t d = 1; d <= 6; ++d) {
+      for (std::uint64_t delta = 1; delta <= 6; ++delta) {
+        if (phase_encode(PhaseTriple{n, d, delta}) <= 3000) {
+          EXPECT_TRUE(seen.count({n, d, delta}));
+        }
+      }
+    }
+  }
+}
+
+TEST(PhaseCoding, MonotoneInDelta) {
+  // Used by guaranteed_phase_*: the smallest dominating phase sits at
+  // delta' = delta.
+  for (std::uint64_t n : {2u, 5u, 9u}) {
+    for (std::uint64_t d = 1; d < n; ++d) {
+      for (std::uint64_t delta = 1; delta <= 6; ++delta) {
+        EXPECT_LT(phase_encode(PhaseTriple{n, d, delta}),
+                  phase_encode(PhaseTriple{n, d, delta + 1}));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdv::core

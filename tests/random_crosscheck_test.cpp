@@ -1,0 +1,124 @@
+// Randomized cross-validation sweeps: on seeded random graphs, the
+// three oracles — the Corollary 3.1 predicate, the exhaustive optimal
+// search, and the actual algorithms (SymmRV with known parameters,
+// AsymmRV) — must tell one consistent story.
+#include <gtest/gtest.h>
+
+#include "analysis/optimal_search.hpp"
+#include "analysis/stics.hpp"
+#include "core/asymm_rv.hpp"
+#include "core/bounds.hpp"
+#include "core/signature.hpp"
+#include "core/symm_rv.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "support/saturating.hpp"
+#include "uxs/corpus.hpp"
+#include "uxs/verifier.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace rdv {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+namespace families = rdv::graph::families;
+
+class RandomGraphSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomGraphSweep, OptimalSearchMatchesPredicateOnSymmetricPairs) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = families::random_connected(6, 3, seed);
+  const auto classes = views::compute_view_classes(g);
+  for (Node u = 0; u < g.size(); ++u) {
+    for (Node v = 0; v < g.size(); ++v) {
+      if (u == v || !classes.symmetric(u, v)) continue;
+      const std::uint32_t s = views::shrink(g, u, v);
+      for (std::uint64_t delay = 0; delay <= s + 1 && delay <= 3;
+           ++delay) {
+        analysis::OptimalSearchConfig config;
+        config.horizon = 4096;
+        const auto r = analysis::optimal_oblivious(g, u, v, delay,
+                                                   config);
+        EXPECT_EQ(r.outcome == analysis::OptimalOutcome::kMet,
+                  delay >= s)
+            << g.name() << " (" << u << "," << v << ") delay " << delay;
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, SymmRVMeetsAllSymmetricPairsAtShrink) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = families::random_connected(7, 4, seed);
+  const uxs::Uxs y = uxs::covering_uxs(g);
+  ASSERT_TRUE(uxs::is_uxs_for(g, y));
+  const auto classes = views::compute_view_classes(g);
+  for (const auto& [u, v] : views::symmetric_pairs(g)) {
+    const std::uint32_t s = views::shrink(g, u, v);
+    sim::RunConfig config;
+    config.max_rounds = support::sat_mul(
+        4, core::symm_rv_time_bound(g.size(), s, s, y.length()));
+    const auto r = sim::run_anonymous(
+        g, core::symm_rv_program(g.size(), s, s, y), u, v, s, config);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << g.name() << " (" << u << "," << v << ")";
+  }
+}
+
+TEST_P(RandomGraphSweep, AsymmRVMeetsSampledNonsymmetricPairs) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = families::random_connected(8, 5, seed + 100);
+  const uxs::Uxs y = uxs::covering_uxs(g);
+  ASSERT_TRUE(uxs::is_uxs_for(g, y));
+  const auto classes = views::compute_view_classes(g);
+  std::size_t tested = 0;
+  for (Node u = 0; u < g.size() && tested < 6; ++u) {
+    for (Node v = u + 1; v < g.size() && tested < 6; v += 3) {
+      if (classes.symmetric(u, v)) continue;
+      for (const std::uint64_t delay : {0ull, 1ull}) {
+        const std::uint64_t budget =
+            core::asymm_rv_time_bound(g.size(), delay, y.length());
+        sim::RunConfig config;
+        config.max_rounds =
+            support::sat_add(support::sat_mul(2, budget), delay);
+        const auto r = sim::run_anonymous(
+            g, core::asymm_rv_program(g.size(), y, budget), u, v, delay,
+            config);
+        ASSERT_TRUE(r.ok()) << r.error;
+        EXPECT_TRUE(r.met)
+            << g.name() << " (" << u << "," << v << ") delay " << delay;
+      }
+      ++tested;
+    }
+  }
+  EXPECT_GT(tested, 0u) << g.name();
+}
+
+TEST_P(RandomGraphSweep, SignatureSeparationHolds) {
+  // The empirical pillar of the AsymmRV substitution, stress-tested on
+  // random instances beyond the fixed corpus.
+  const std::uint64_t seed = GetParam();
+  for (const std::uint32_t n : {6u, 9u}) {
+    const Graph g = families::random_connected(n, n / 2, seed + 7 * n);
+    const uxs::Uxs y = uxs::covering_uxs(g);
+    ASSERT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
+    const auto classes = views::compute_view_classes(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = u + 1; v < g.size(); ++v) {
+        const bool sig_eq = core::signature_offline(g, u, n, y) ==
+                            core::signature_offline(g, v, n, y);
+        EXPECT_EQ(sig_eq, classes.symmetric(u, v))
+            << g.name() << " (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+}  // namespace
+}  // namespace rdv

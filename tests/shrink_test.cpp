@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "graph/families/families.hpp"
+#include "graph/families/qhat.hpp"
+#include "graph/walk.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace rdv::views {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+namespace families = rdv::graph::families;
+
+TEST(Shrink, OrientedRingEqualsDistance) {
+  // Rotation symmetry: same port sequence moves both agents in
+  // lockstep, so the gap never changes — Shrink = dist (paper's torus
+  // remark, in one dimension).
+  const Graph g = families::oriented_ring(8);
+  for (Node v = 1; v < 8; ++v) {
+    EXPECT_EQ(shrink(g, 0, v), graph::distance(g, 0, v)) << v;
+  }
+}
+
+TEST(Shrink, OrientedTorusEqualsDistance) {
+  // The paper, after Definition 3.1: "in an oriented torus ...
+  // Shrink(u,v) is equal to the distance between u and v".
+  const Graph g = families::oriented_torus(4, 4);
+  for (Node v = 1; v < g.size(); ++v) {
+    EXPECT_EQ(shrink(g, 0, v), graph::distance(g, 0, v)) << v;
+  }
+}
+
+TEST(Shrink, SymmetricDoubleTreeIsOne) {
+  // The paper, after Definition 3.1: in a symmetric tree composed of a
+  // central edge with port-preserving isomorphic trees on both ends,
+  // Shrink(u,v) = 1 for any symmetric pair, at any distance.
+  for (std::uint32_t b : {1u, 2u, 3u}) {
+    for (std::uint32_t t : {1u, 2u, 3u}) {
+      const Graph g = families::symmetric_double_tree(b, t);
+      const auto pairs = symmetric_pairs(g);
+      ASSERT_FALSE(pairs.empty());
+      for (const auto& [u, v] : pairs) {
+        EXPECT_EQ(shrink(g, u, v), 1u)
+            << g.name() << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Shrink, DistanceGrowsButShrinkStaysOne) {
+  // The motivating contrast: distance between mirror leaves is
+  // 2*height+1, Shrink stays 1.
+  const Graph g = families::symmetric_double_tree(2, 3);
+  const Node half = g.size() / 2;
+  const Node deep_leaf = half - 1;  // last node of first copy = a leaf
+  EXPECT_EQ(graph::distance(g, deep_leaf, deep_leaf + half), 7u);
+  EXPECT_EQ(shrink(g, deep_leaf, deep_leaf + half), 1u);
+}
+
+TEST(Shrink, WitnessIsConsistent) {
+  const Graph g = families::symmetric_double_tree(2, 2);
+  const Node half = g.size() / 2;
+  const ShrinkResult r = shrink_with_witness(g, half - 1, g.size() - 1);
+  EXPECT_EQ(r.shrink, 1u);
+  const auto a = graph::apply_ports(g, half - 1, r.witness);
+  const auto b = graph::apply_ports(g, g.size() - 1, r.witness);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, r.closest_u);
+  EXPECT_EQ(*b, r.closest_v);
+  EXPECT_EQ(graph::distance(g, *a, *b), r.shrink);
+}
+
+TEST(Shrink, EmptySequenceWitnessesDistanceUpperBound) {
+  // Shrink <= dist always (alpha = empty sequence).
+  const Graph g = families::random_connected(12, 8, 17);
+  for (Node u = 0; u < g.size(); ++u) {
+    for (Node v = u + 1; v < g.size(); ++v) {
+      EXPECT_LE(shrink(g, u, v), graph::distance(g, u, v));
+    }
+  }
+}
+
+TEST(Shrink, SymmetricPairsHavePositiveShrink) {
+  // Shrink(u,v) = 0 for a symmetric pair would contradict the
+  // impossibility of simultaneous-start rendezvous (Lemma 3.1 with
+  // delta = 0).
+  const std::vector<Graph> corpus = {
+      families::oriented_ring(6),
+      families::hypercube(3),
+      families::symmetric_double_tree(2, 2),
+      families::oriented_torus(3, 3),
+  };
+  for (const Graph& g : corpus) {
+    for (const auto& [u, v] : symmetric_pairs(g)) {
+      EXPECT_GT(shrink(g, u, v), 0u) << g.name();
+    }
+  }
+}
+
+TEST(Shrink, QhatZPairsBounds) {
+  // On Q-hat, pairs (r, v) with v in Z at distance D = 2k form feasible
+  // STICs at delta = D (Theorem 4.1's setting): Shrink is positive (all
+  // pairs are symmetric) and at most the distance D.
+  const std::uint32_t k = 1;
+  const auto q = families::qhat_explicit(6);  // h = 6 > D: v is interior
+  const auto z = families::qhat_z_set(q.graph, q.root, k);
+  for (const Node v : z) {
+    const std::uint32_t s = shrink(q.graph, q.root, v);
+    EXPECT_GT(s, 0u);
+    EXPECT_LE(s, 2 * k);
+  }
+}
+
+TEST(Shrink, CompleteGraphIsAtMostOne) {
+  const Graph g = families::complete(5);
+  for (Node v = 1; v < 5; ++v) {
+    EXPECT_LE(shrink(g, 0, v), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace rdv::views

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "support/saturating.hpp"
+#include "support/splitmix.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rdv::support {
+namespace {
+
+TEST(Saturating, AddSaturates) {
+  EXPECT_EQ(sat_add(2, 3), 5u);
+  EXPECT_EQ(sat_add(kRoundInfinity, 0), kRoundInfinity);
+  EXPECT_EQ(sat_add(kRoundInfinity, 1), kRoundInfinity);
+  EXPECT_EQ(sat_add(kRoundInfinity - 1, 1), kRoundInfinity);
+  EXPECT_EQ(sat_add(kRoundInfinity - 1, 2), kRoundInfinity);
+}
+
+TEST(Saturating, MulSaturates) {
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(0, kRoundInfinity), 0u);
+  EXPECT_EQ(sat_mul(kRoundInfinity, 2), kRoundInfinity);
+  EXPECT_EQ(sat_mul(std::uint64_t{1} << 33, std::uint64_t{1} << 33),
+            kRoundInfinity);
+}
+
+TEST(Saturating, PowExactAndSaturating) {
+  EXPECT_EQ(sat_pow(3, 0), 1u);
+  EXPECT_EQ(sat_pow(3, 4), 81u);
+  EXPECT_EQ(sat_pow(1, 1000000), 1u);
+  EXPECT_EQ(sat_pow(2, 63), std::uint64_t{1} << 63);
+  EXPECT_EQ(sat_pow(2, 64), kRoundInfinity);
+  EXPECT_EQ(sat_pow(10, 25), kRoundInfinity);
+}
+
+TEST(Saturating, SubClampsAtZero) {
+  EXPECT_EQ(sat_sub(5, 3), 2u);
+  EXPECT_EQ(sat_sub(3, 5), 0u);
+}
+
+TEST(Saturating, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 7), 1u);
+}
+
+TEST(Saturating, BitsFor) {
+  EXPECT_EQ(bits_for(0), 0u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+TEST(SplitMix, KnownAnswer) {
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next(), 0xE220A8397B1DCDAFULL);
+  // The state advances by the golden-gamma increment per draw.
+  EXPECT_EQ(rng.state(), 0x9E3779B97F4A7C15ULL);
+}
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, NextBelowInRangeAndCoversValues) {
+  SplitMix64 rng(7);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_below(5);
+    ASSERT_LT(v, 5u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(md.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, Csv) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_rounds(17), "17");
+  EXPECT_EQ(format_rounds(kRoundInfinity), "inf");
+  EXPECT_EQ(format_double(1.005, 1), "1.0");
+}
+
+}  // namespace
+}  // namespace rdv::support

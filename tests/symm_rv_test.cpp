@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stics.hpp"
+#include "core/bounds.hpp"
+#include "core/symm_rv.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "support/saturating.hpp"
+#include "uxs/corpus.hpp"
+#include "uxs/verifier.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace rdv::core {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+using sim::RunConfig;
+using sim::RunResult;
+namespace families = rdv::graph::families;
+
+RunResult run_symm(const Graph& g, Node u, Node v, std::uint64_t delay,
+                   std::uint32_t d, std::uint64_t delta_param,
+                   std::uint64_t cap = 0) {
+  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  EXPECT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
+  RunConfig config;
+  config.max_rounds =
+      cap ? cap : support::sat_mul(
+                      4, symm_rv_time_bound(g.size(), d, delta_param,
+                                            y.length()));
+  return sim::run_anonymous(
+      g, symm_rv_program(g.size(), d, delta_param, y), u, v, delay,
+      config);
+}
+
+TEST(SymmRV, MeetsOnSymmetricDoubleTree) {
+  // The paper's flagship symmetric example: Shrink = 1, so delay 1
+  // suffices no matter the distance.
+  const Graph g = families::symmetric_double_tree(2, 2);
+  const Node half = g.size() / 2;
+  for (const Node u : {Node{0}, Node{3}, half - 1}) {
+    const Node v = families::double_tree_mirror(g, u);
+    const RunResult r = run_symm(g, u, v, /*delay=*/1, /*d=*/1,
+                                 /*delta_param=*/1);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << "pair " << u << "," << v;
+  }
+}
+
+TEST(SymmRV, MeetsOnOrientedRingAtShrinkDelay) {
+  // Ring: Shrink(0, v) = dist(0, v); delay = Shrink is feasible.
+  const Graph g = families::oriented_ring(6);
+  for (const Node v : {Node{1}, Node{2}, Node{3}}) {
+    const std::uint32_t d = views::shrink(g, 0, v);
+    const RunResult r = run_symm(g, 0, v, /*delay=*/d, d, d);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << "v=" << v;
+  }
+}
+
+TEST(SymmRV, MeetsWithDelayBetweenDAndDelta) {
+  // Lemma 3.2 extended: SymmRV(n, d, delta') meets whenever the actual
+  // delay is in [d, delta'].
+  const Graph g = families::symmetric_double_tree(2, 1);
+  const Node v = families::double_tree_mirror(g, 2);
+  for (std::uint64_t actual_delay = 1; actual_delay <= 4; ++actual_delay) {
+    const RunResult r =
+        run_symm(g, 2, v, actual_delay, /*d=*/1, /*delta_param=*/4);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << "delay " << actual_delay;
+  }
+}
+
+TEST(SymmRV, RespectsLemma33TimeBound) {
+  const Graph g = families::symmetric_double_tree(2, 1);
+  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  const Node v = families::double_tree_mirror(g, 0);
+  const RunResult r = run_symm(g, 0, v, 1, 1, 1);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.met);
+  EXPECT_LE(r.meet_from_later_start,
+            symm_rv_time_bound(g.size(), 1, 1, y.length()));
+}
+
+TEST(SymmRV, NoMeetBelowShrinkDelay) {
+  // Lemma 3.1: symmetric pair with delay < Shrink is infeasible — and
+  // in particular SymmRV cannot beat it.
+  const Graph g = families::oriented_ring(8);
+  const std::uint32_t d = views::shrink(g, 0, 4);  // = 4
+  ASSERT_EQ(d, 4u);
+  for (std::uint64_t delay = 0; delay < d; ++delay) {
+    const RunResult r = run_symm(g, 0, 4, delay, d, d, /*cap=*/200'000);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.met) << "delay " << delay;
+  }
+}
+
+TEST(SymmRV, SimultaneousStartNeverMeets) {
+  // delta = 0 on symmetric positions: agents mirror each other forever.
+  const Graph g = families::symmetric_double_tree(2, 2);
+  const Node v = families::double_tree_mirror(g, 1);
+  const RunResult r = run_symm(g, 1, v, 0, 1, 1, /*cap=*/100'000);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.met);
+}
+
+TEST(SymmRV, CompletesAndReturnsHomeWithoutPartner) {
+  // A single agent finishing SymmRV ends at its start node
+  // (Algorithm 1's final backtrack).
+  const Graph g = families::oriented_ring(5);
+  const uxs::Uxs& y = uxs::cached_uxs(5);
+  sim::RunConfig config;
+  config.max_rounds = support::sat_mul(
+      4, symm_rv_time_bound(5, 1, 1, y.length()));
+  // Later agent sleeps far away with a huge delay so it never appears.
+  const RunResult r = sim::run_pair(
+      g, symm_rv_program(5, 1, 1, y),
+      [](sim::Mailbox& mb, sim::Observation) -> sim::Proc {
+        return [](sim::Mailbox& mb2) -> sim::Proc {
+          co_await mb2.wait(support::kRoundInfinity);
+        }(mb);
+      },
+      0, 2, support::kRoundInfinity - 8, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.met);
+  EXPECT_EQ(r.final_pos[0], 0u);
+}
+
+class SymmRVFeasiblePairs
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymmRVFeasiblePairs, AllSymmetricPairsMeetAtShrinkDelay) {
+  // Property sweep: on the hypercube, every pair is symmetric; with
+  // d = Shrink(u, v) and delay = d, SymmRV must always meet.
+  const Graph g = families::hypercube(3);
+  const std::uint64_t u = GetParam();
+  for (Node v = 0; v < g.size(); ++v) {
+    if (v == u) continue;
+    const std::uint32_t d = views::shrink(g, static_cast<Node>(u), v);
+    const RunResult r =
+        run_symm(g, static_cast<Node>(u), v, d, d, d);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.met) << "pair " << u << "," << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HypercubeStarts, SymmRVFeasiblePairs,
+                         ::testing::Values(0u, 3u, 5u, 7u));
+
+}  // namespace
+}  // namespace rdv::core
