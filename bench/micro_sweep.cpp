@@ -1,0 +1,108 @@
+// M2 — sweep-runner micro-benchmark: the same STIC feasibility kernel
+// executed through sweep::run_stic_sweep on a 1-thread pool
+// (sequential baseline) and on the default pool. Emits one
+// BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set, else the
+// working directory) for trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "core/universal_rv.hpp"
+#include "graph/families/families.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "sweep/sweep.hpp"
+#include "views/refinement.hpp"
+
+namespace {
+
+double best_of_ms(int repeats, const std::function<void()>& fn) {
+  double best = 0;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  namespace families = rdv::graph::families;
+  using rdv::analysis::Stic;
+
+  const auto g = families::oriented_ring(rdv::analysis::full_mode() ? 8 : 6);
+  const std::uint64_t max_delay = rdv::analysis::full_mode() ? 6 : 4;
+  const auto classes = rdv::views::compute_view_classes(g);
+  const std::vector<Stic> stics =
+      rdv::analysis::enumerate_stics(g, max_delay);
+
+  rdv::core::UniversalOptions options;
+  options.max_phases = 40;
+  const auto program = rdv::core::universal_rv_program(options);
+  rdv::sim::RunConfig run_config;
+  run_config.max_rounds = 1u << 18;
+
+  const rdv::sweep::SticKernel kernel = [&](const Stic& stic) {
+    const auto check =
+        rdv::analysis::verify_stic(g, classes, stic, program, run_config);
+    return rdv::sweep::SticRecord{stic, check.cls, check.run, {}};
+  };
+
+  const int repeats = 3;
+  rdv::support::ThreadPool sequential(1);
+  rdv::sweep::SweepConfig seq_config;
+  seq_config.pool = &sequential;
+  seq_config.chunk_size = 16;
+  const double seq_ms = best_of_ms(repeats, [&] {
+    (void)rdv::sweep::run_stic_sweep(stics, kernel, seq_config);
+  });
+
+  rdv::sweep::SweepConfig pool_config;
+  pool_config.chunk_size = 16;
+  const double pool_ms = best_of_ms(repeats, [&] {
+    (void)rdv::sweep::run_stic_sweep(stics, kernel, pool_config);
+  });
+  const std::size_t pool_threads =
+      rdv::support::default_pool().thread_count();
+
+  rdv::support::Table table(
+      {"config", "threads", "STICs", "best ms", "STICs/s"});
+  const auto rate = [&](double ms) {
+    return rdv::support::format_double(
+        ms > 0 ? 1000.0 * static_cast<double>(stics.size()) / ms : 0, 1);
+  };
+  table.add_row({"sequential", "1", std::to_string(stics.size()),
+                 rdv::support::format_double(seq_ms, 3), rate(seq_ms)});
+  table.add_row({"pooled", std::to_string(pool_threads),
+                 std::to_string(stics.size()),
+                 rdv::support::format_double(pool_ms, 3), rate(pool_ms)});
+  rdv::analysis::emit_table(
+      "micro_sweep", "M2: sweep runner, sequential vs pooled", table);
+
+  const char* dir = std::getenv("REPRO_CSV_DIR");
+  const std::string json_path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_sweep.json";
+  std::ofstream json(json_path);
+  json << "{\"bench\":\"micro_sweep\",\"graph\":\"" << g.name()
+       << "\",\"items\":" << stics.size()
+       << ",\"chunk_size\":" << pool_config.chunk_size
+       << ",\"seq_ms\":" << seq_ms << ",\"pool_ms\":" << pool_ms
+       << ",\"pool_threads\":" << pool_threads << ",\"speedup\":"
+       << (pool_ms > 0 ? seq_ms / pool_ms : 0) << "}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,14 +1,14 @@
 // T2 — Corollary 3.1: a STIC [(u,v), delta] is feasible iff the nodes
 // are nonsymmetric, or symmetric with delta >= Shrink(u, v).
 // Cross-checks the predicate against full UniversalRV simulations over
-// every ordered STIC of each graph.
+// every ordered STIC of each graph, on the sharded sweep runner.
 #include <cstdio>
 
 #include "analysis/experiments.hpp"
-#include "analysis/feasibility.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "support/table.hpp"
+#include "sweep/sweep.hpp"
 
 int main() {
   namespace families = rdv::graph::families;
@@ -38,7 +38,7 @@ int main() {
     options.max_phases = c.max_phases;
     rdv::sim::RunConfig config;
     config.max_rounds = c.cap;
-    const auto summary = rdv::analysis::feasibility_sweep(
+    const auto summary = rdv::sweep::feasibility_sweep(
         c.g, c.max_delay, rdv::core::universal_rv_program(options),
         config);
     table.add_row({c.g.name(), std::to_string(summary.checks.size()),

@@ -261,7 +261,13 @@ class MultiRunner {
 MultiRunResult run_multi(const ITopology& g,
                          const std::vector<AgentSpec>& agents,
                          const MultiRunConfig& config) {
-  MultiRunner runner(g, config, agents.size());
+  // The meeting scan only visits ordered pairs (i < j); normalize the
+  // stop pair so callers may pass it in either order.
+  MultiRunConfig normalized = config;
+  if (normalized.stop_on_pair_a > normalized.stop_on_pair_b) {
+    std::swap(normalized.stop_on_pair_a, normalized.stop_on_pair_b);
+  }
+  MultiRunner runner(g, normalized, agents.size());
   return runner.run(agents);
 }
 

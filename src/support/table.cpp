@@ -1,8 +1,8 @@
 #include "support/table.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 #include "support/saturating.hpp"
 
@@ -12,7 +12,13 @@ Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 Table& Table::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == headers_.size());
+  // A mismatched row would index out of bounds in to_markdown(); this
+  // must hold in release builds too, so no assert.
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "Table::add_row: " + std::to_string(cells.size()) +
+        " cells for " + std::to_string(headers_.size()) + " headers");
+  }
   rows_.push_back(std::move(cells));
   return *this;
 }

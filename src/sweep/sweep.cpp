@@ -1,0 +1,58 @@
+#include "sweep/sweep.hpp"
+
+#include "views/refinement.hpp"
+
+namespace rdv::sweep {
+
+SticSweepResult run_stic_sweep(
+    const std::vector<analysis::Stic>& stics, const SticKernel& kernel,
+    const SweepConfig& config,
+    const std::function<bool(const SticRecord&)>& stop_when) {
+  SticSweepResult result;
+  result.records = sweep_map<SticRecord>(
+      stics.size(), [&](std::size_t i) { return kernel(stics[i]); },
+      config, stop_when, &result.stats);
+  return result;
+}
+
+support::Table to_table(std::vector<std::string> headers,
+                        const std::vector<SticRecord>& records) {
+  support::Table table(std::move(headers));
+  for (const SticRecord& record : records) {
+    if (!record.cells.empty()) table.add_row(record.cells);
+  }
+  return table;
+}
+
+analysis::SweepSummary feasibility_sweep(const graph::Graph& g,
+                                         std::uint64_t max_delay,
+                                         const sim::AgentProgram& program,
+                                         const sim::RunConfig& run_config,
+                                         const SweepConfig& sweep_config) {
+  const views::ViewClasses classes = views::compute_view_classes(g);
+  const std::vector<analysis::Stic> stics =
+      analysis::enumerate_stics(g, max_delay);
+  analysis::SweepSummary summary;
+  summary.checks = sweep_map<analysis::SticCheck>(
+      stics.size(),
+      [&](std::size_t i) {
+        return analysis::verify_stic(g, classes, stics[i], program,
+                                     run_config);
+      },
+      sweep_config);
+  for (const analysis::SticCheck& check : summary.checks) {
+    if (check.cls.feasible) {
+      ++summary.feasible;
+    } else {
+      ++summary.infeasible;
+    }
+    if (!check.consistent) ++summary.inconsistent;
+  }
+  return summary;
+}
+
+bool stop_at_infeasible(const SticRecord& record) {
+  return !record.cls.feasible;
+}
+
+}  // namespace rdv::sweep

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/stics.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+/// Sharded, batched sweep runner — the substrate for the experiment
+/// sweeps (STIC enumeration, feasibility cross-checks, rendezvous-time
+/// tables).
+///
+/// The index space is partitioned into contiguous chunks; chunks
+/// execute on a support::ThreadPool and results are merged BY CHUNK
+/// INDEX, never by completion order, so the output is byte-identical
+/// for any thread count. Early-exit predicates are evaluated on the
+/// merged stream in index order: the result is truncated right after
+/// the first item matching the predicate, and no further chunk wave is
+/// scheduled (chunks of the in-flight wave may still run; their output
+/// past the trigger is discarded, keeping determinism).
+namespace rdv::sweep {
+
+struct SweepConfig {
+  /// Items per chunk; 0 falls back to the default. Small chunks load-
+  /// balance better, large chunks amortize scheduling.
+  std::size_t chunk_size = 64;
+  /// Pool to run on; nullptr uses support::default_pool(). Kernels must
+  /// not submit work to the same pool (the runner waits on it).
+  support::ThreadPool* pool = nullptr;
+};
+
+struct SweepStats {
+  std::size_t items_total = 0;
+  std::size_t chunks_total = 0;
+  /// Chunks actually handed to the pool. Scheduling-dependent (wave
+  /// width scales with the pool); everything else in a sweep result is
+  /// thread-count-invariant.
+  std::size_t chunks_scheduled = 0;
+  std::size_t items_produced = 0;
+  bool stopped_early = false;
+  /// Index (into the merged output) of the item that triggered the
+  /// early exit; valid when stopped_early.
+  std::size_t stop_index = 0;
+};
+
+namespace detail {
+inline std::size_t effective_chunk_size(const SweepConfig& config) {
+  return config.chunk_size == 0 ? 64 : config.chunk_size;
+}
+inline support::ThreadPool& effective_pool(const SweepConfig& config) {
+  return config.pool != nullptr ? *config.pool : support::default_pool();
+}
+}  // namespace detail
+
+/// Maps fn over [0, n) with deterministic ordering. `stop_when`, if
+/// set, is tested against each produced item in index order; the first
+/// hit truncates the output (inclusive) and stops scheduling.
+template <typename R>
+std::vector<R> sweep_map(std::size_t n,
+                         const std::function<R(std::size_t)>& fn,
+                         const SweepConfig& config = {},
+                         const std::function<bool(const R&)>& stop_when = {},
+                         SweepStats* stats = nullptr) {
+  const std::size_t chunk_size = detail::effective_chunk_size(config);
+  support::ThreadPool& pool = detail::effective_pool(config);
+  const std::size_t chunks =
+      n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
+
+  SweepStats local;
+  local.items_total = n;
+  local.chunks_total = chunks;
+
+  // Without an early-exit predicate every chunk is one wave; with one,
+  // waves span a few chunks per worker so a hit near the front does not
+  // pay for the whole space.
+  const std::size_t wave_span =
+      stop_when ? std::max<std::size_t>(1, pool.thread_count() * 2) : chunks;
+
+  std::vector<std::vector<R>> chunk_out(chunks);
+  std::vector<R> merged;
+  merged.reserve(n);
+  std::size_t next_chunk = 0;
+  bool stopped = false;
+  while (next_chunk < chunks && !stopped) {
+    const std::size_t wave_end = std::min(chunks, next_chunk + wave_span);
+    for (std::size_t c = next_chunk; c < wave_end; ++c) {
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(n, lo + chunk_size);
+      std::vector<R>* out = &chunk_out[c];
+      pool.submit([lo, hi, out, &fn] {
+        out->reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) out->push_back(fn(i));
+      });
+    }
+    local.chunks_scheduled += wave_end - next_chunk;
+    pool.wait_idle();
+    for (std::size_t c = next_chunk; c < wave_end && !stopped; ++c) {
+      for (R& r : chunk_out[c]) {
+        merged.push_back(std::move(r));
+        if (stop_when && stop_when(merged.back())) {
+          local.stopped_early = true;
+          local.stop_index = merged.size() - 1;
+          stopped = true;
+          break;
+        }
+      }
+      chunk_out[c].clear();
+    }
+    next_chunk = wave_end;
+  }
+  local.items_produced = merged.size();
+  if (stats != nullptr) *stats = local;
+  return merged;
+}
+
+/// One sweep datapoint: the STIC it came from, its classification, the
+/// simulation outcome, and (optionally) pre-rendered table cells.
+struct SticRecord {
+  analysis::Stic stic;
+  analysis::ClassifiedStic cls;
+  sim::RunResult run;
+  /// When nonempty, to_table() emits these as one row.
+  std::vector<std::string> cells;
+};
+
+/// Computes one record from one STIC. Must be thread-safe: invoked
+/// concurrently from pool workers.
+using SticKernel = std::function<SticRecord(const analysis::Stic&)>;
+
+struct SticSweepResult {
+  /// Records in STIC order (truncated after an early-exit trigger).
+  std::vector<SticRecord> records;
+  SweepStats stats;
+};
+
+/// Runs the kernel over an explicit STIC list (enumerate_stics output
+/// or a hand-built case list) with chunked pool execution.
+[[nodiscard]] SticSweepResult run_stic_sweep(
+    const std::vector<analysis::Stic>& stics, const SticKernel& kernel,
+    const SweepConfig& config = {},
+    const std::function<bool(const SticRecord&)>& stop_when = {});
+
+/// Collects the records' `cells` rows (records with empty cells are
+/// skipped) into a Table, preserving sweep order.
+[[nodiscard]] support::Table to_table(std::vector<std::string> headers,
+                                      const std::vector<SticRecord>& records);
+
+/// analysis::feasibility_sweep rebuilt on the sweep runner: verifies
+/// every ordered STIC with delays 0..max_delay against Corollary 3.1.
+[[nodiscard]] analysis::SweepSummary feasibility_sweep(
+    const graph::Graph& g, std::uint64_t max_delay,
+    const sim::AgentProgram& program, const sim::RunConfig& run_config,
+    const SweepConfig& sweep_config = {});
+
+/// Early-exit predicate: first STIC classified infeasible.
+[[nodiscard]] bool stop_at_infeasible(const SticRecord& record);
+
+}  // namespace rdv::sweep

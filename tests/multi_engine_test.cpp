@@ -137,6 +137,96 @@ TEST(MultiEngine, StaggeredSpawnsTracked) {
   EXPECT_EQ(r.moves[0], 0u);
 }
 
+TEST(MultiEngine, StopOnPairTerminatesBeforeGathering) {
+  // Same scenario as ThreeAgentsGatherOnPath (gathering at round 3),
+  // but the run must stop at round 1 when agents 0 and 1 first meet.
+  const Graph g = families::path_graph(3);
+  std::vector<AgentSpec> specs;
+  specs.push_back({step_once(0), 0, 0});  // 0 -> 1 at round 1
+  specs.push_back({sleeper(), 1, 0});     // stays at 1
+  specs.push_back({step_once(0), 2, 2});  // would reach 1 at round 3
+  MultiRunConfig config;
+  config.stop_on_pair_a = 0;
+  config.stop_on_pair_b = 1;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.gathered);
+  EXPECT_EQ(r.rounds_simulated, 1u);
+  EXPECT_EQ(r.meeting_of(0, 1, 3), 1u);
+  EXPECT_EQ(r.meeting_of(0, 2, 3), kNever);
+  EXPECT_EQ(r.meeting_of(1, 2, 3), kNever);
+}
+
+// Regression: the meeting scan visits ordered pairs (i < j) only, so a
+// reversed stop pair (a > b) used to never trigger and the run silently
+// continued to the cap.
+TEST(MultiEngine, StopOnPairIsOrderInsensitive) {
+  const Graph g = families::path_graph(3);
+  std::vector<AgentSpec> specs;
+  specs.push_back({step_once(0), 0, 0});
+  specs.push_back({sleeper(), 1, 0});
+  specs.push_back({step_once(0), 2, 2});
+  MultiRunConfig config;
+  config.stop_on_pair_a = 1;  // reversed on purpose
+  config.stop_on_pair_b = 0;
+  config.max_rounds = 100;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.rounds_simulated, 1u);
+  EXPECT_EQ(r.meeting_of(0, 1, 3), 1u);
+}
+
+TEST(MultiEngine, StopOnPairStillReportsGatheringAtThatRound) {
+  // The stop pair (0, 2) first meets exactly when all three gather;
+  // gathering detection must win over the early stop.
+  const Graph g = families::path_graph(3);
+  std::vector<AgentSpec> specs;
+  specs.push_back({step_once(0), 0, 0});
+  specs.push_back({sleeper(), 1, 0});
+  specs.push_back({step_once(0), 2, 2});
+  MultiRunConfig config;
+  config.stop_on_pair_a = 0;
+  config.stop_on_pair_b = 2;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.gathered);
+  EXPECT_EQ(r.gather_round_absolute, 3u);
+  EXPECT_EQ(r.meeting_of(0, 2, 3), 3u);
+}
+
+TEST(MultiEngine, FirstMeetingMatrixForFourAgents) {
+  // oriented_ring(4), port 0 = clockwise (+1 each round):
+  //   agent 0: rotates from node 0 (position r mod 4)
+  //   agent 1: sleeps at node 2     -> met by agent 0 at round 2
+  //   agent 2: sleeps at node 3     -> met by agent 0 at round 3
+  //   agent 3: rotates from node 2  -> starts on agent 1 (round 0),
+  //            reaches agent 2 at round 1, stays 2 apart from agent 0
+  const Graph g = families::oriented_ring(4);
+  std::vector<AgentSpec> specs;
+  specs.push_back({forward_forever(), 0, 0});
+  specs.push_back({sleeper(), 2, 0});
+  specs.push_back({sleeper(), 3, 0});
+  specs.push_back({forward_forever(), 2, 0});
+  MultiRunConfig config;
+  config.max_rounds = 40;
+  const MultiRunResult r = run_multi(g, specs, config);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.gathered);
+  const std::size_t k = specs.size();
+  EXPECT_EQ(r.meeting_of(0, 1, k), 2u);
+  EXPECT_EQ(r.meeting_of(0, 2, k), 3u);
+  EXPECT_EQ(r.meeting_of(0, 3, k), kNever);  // constant ring offset of 2
+  EXPECT_EQ(r.meeting_of(1, 2, k), kNever);  // distinct parked nodes
+  EXPECT_EQ(r.meeting_of(1, 3, k), 0u);      // shared start node
+  EXPECT_EQ(r.meeting_of(2, 3, k), 1u);
+  // meeting_of must be symmetric in its agent arguments.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      EXPECT_EQ(r.meeting_of(i, j, k), r.meeting_of(j, i, k));
+    }
+  }
+}
+
 TEST(MultiEngine, ErrorsPropagateWithAgentIndex) {
   const Graph g = families::path_graph(3);
   std::vector<AgentSpec> specs;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "support/saturating.hpp"
 #include "support/splitmix.hpp"
@@ -119,6 +120,17 @@ TEST(Table, Csv) {
   Table t({"x", "y"});
   t.add_row({"1", "2"});
   EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+// Regression: add_row used to validate only via assert, so a
+// mismatched row silently indexed out of bounds in NDEBUG builds.
+TEST(Table, AddRowRejectsCellCountMismatch) {
+  Table t({"x", "y"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
 }
 
 TEST(Table, FormatHelpers) {

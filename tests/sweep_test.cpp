@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/stics.hpp"
+#include "core/universal_rv.hpp"
+#include "graph/families/families.hpp"
+#include "support/thread_pool.hpp"
+#include "sweep/sweep.hpp"
+#include "views/refinement.hpp"
+
+namespace rdv::sweep {
+namespace {
+
+namespace families = rdv::graph::families;
+using analysis::Stic;
+
+/// Pure classification kernel (no simulation) — cheap and
+/// deterministic, the workhorse for the ordering tests.
+SticKernel classify_kernel(const graph::Graph& g,
+                           const views::ViewClasses& classes) {
+  return [&g, &classes](const Stic& stic) {
+    SticRecord record;
+    record.stic = stic;
+    record.cls = analysis::classify_stic(g, classes, stic);
+    record.cells = {std::to_string(stic.u), std::to_string(stic.v),
+                    std::to_string(stic.delay),
+                    record.cls.feasible ? "yes" : "no"};
+    return record;
+  };
+}
+
+TEST(SweepMap, CoversRangeInOrder) {
+  const std::function<int(std::size_t)> square = [](std::size_t i) {
+    return static_cast<int>(i * i);
+  };
+  SweepStats stats;
+  SweepConfig config;
+  config.chunk_size = 3;  // 7 items -> chunks of 3,3,1 (non-divisible)
+  const std::vector<int> out = sweep_map<int>(7, square, config, {}, &stats);
+  ASSERT_EQ(out.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+  EXPECT_EQ(stats.items_total, 7u);
+  EXPECT_EQ(stats.chunks_total, 3u);
+  EXPECT_EQ(stats.items_produced, 7u);
+  EXPECT_FALSE(stats.stopped_early);
+}
+
+TEST(SweepMap, EmptyRange) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  SweepStats stats;
+  const std::vector<int> out = sweep_map<int>(0, id, {}, {}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.chunks_total, 0u);
+  EXPECT_EQ(stats.chunks_scheduled, 0u);
+  EXPECT_FALSE(stats.stopped_early);
+}
+
+TEST(SweepMap, SingleItemAndOversizedChunk) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  SweepConfig config;
+  config.chunk_size = 1000;  // one chunk swallows everything
+  SweepStats stats;
+  const std::vector<int> out = sweep_map<int>(1, id, config, {}, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(stats.chunks_total, 1u);
+}
+
+TEST(SweepMap, ChunkSizeZeroFallsBackToDefault) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  SweepConfig config;
+  config.chunk_size = 0;
+  const std::vector<int> out = sweep_map<int>(5, id, config);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 4);
+}
+
+TEST(SweepMap, ChunkSizeOne) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  SweepConfig config;
+  config.chunk_size = 1;
+  SweepStats stats;
+  const std::vector<int> out = sweep_map<int>(9, id, config, {}, &stats);
+  ASSERT_EQ(out.size(), 9u);
+  EXPECT_EQ(stats.chunks_total, 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(SweepMap, EarlyExitTruncatesInclusively) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  const std::function<bool(const int&)> at_37 = [](const int& v) {
+    return v == 37;
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    support::ThreadPool pool(threads);
+    SweepConfig config;
+    config.chunk_size = 7;
+    config.pool = &pool;
+    SweepStats stats;
+    const std::vector<int> out =
+        sweep_map<int>(100, id, config, at_37, &stats);
+    ASSERT_EQ(out.size(), 38u) << threads << " threads";
+    EXPECT_EQ(out.back(), 37);
+    EXPECT_TRUE(stats.stopped_early);
+    EXPECT_EQ(stats.stop_index, 37u);
+    EXPECT_EQ(stats.items_produced, 38u);
+  }
+}
+
+TEST(SweepMap, EarlyExitOnVeryFirstItem) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  const std::function<bool(const int&)> always = [](const int&) {
+    return true;
+  };
+  SweepStats stats;
+  const std::vector<int> out = sweep_map<int>(50, id, {}, always, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.stop_index, 0u);
+  EXPECT_TRUE(stats.stopped_early);
+}
+
+TEST(SweepMap, PredicateNeverFiringProducesEverything) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  const std::function<bool(const int&)> never = [](const int&) {
+    return false;
+  };
+  SweepStats stats;
+  const std::vector<int> out = sweep_map<int>(20, id, {}, never, &stats);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_FALSE(stats.stopped_early);
+}
+
+TEST(SticSweep, TableIdenticalForOneAndManyThreads) {
+  const graph::Graph g = families::oriented_ring(5);
+  const views::ViewClasses classes = views::compute_view_classes(g);
+  const std::vector<Stic> stics = analysis::enumerate_stics(g, 3);
+  const SticKernel kernel = classify_kernel(g, classes);
+  const std::vector<std::string> headers = {"u", "v", "delay", "feasible"};
+
+  support::ThreadPool one(1);
+  SweepConfig config_one;
+  config_one.pool = &one;
+  config_one.chunk_size = 5;
+  const SticSweepResult r1 = run_stic_sweep(stics, kernel, config_one);
+
+  support::ThreadPool many(4);
+  SweepConfig config_many;
+  config_many.pool = &many;
+  config_many.chunk_size = 5;
+  const SticSweepResult rn = run_stic_sweep(stics, kernel, config_many);
+
+  ASSERT_EQ(r1.records.size(), stics.size());
+  ASSERT_EQ(rn.records.size(), stics.size());
+  for (std::size_t i = 0; i < stics.size(); ++i) {
+    EXPECT_EQ(r1.records[i].stic, rn.records[i].stic);
+    EXPECT_EQ(r1.records[i].cls.feasible, rn.records[i].cls.feasible);
+    EXPECT_EQ(r1.records[i].cells, rn.records[i].cells);
+  }
+  // Byte-identical aggregated tables: the acceptance bar.
+  EXPECT_EQ(to_table(headers, r1.records).to_csv(),
+            to_table(headers, rn.records).to_csv());
+  EXPECT_EQ(to_table(headers, r1.records).to_markdown(),
+            to_table(headers, rn.records).to_markdown());
+}
+
+TEST(SticSweep, EarlyExitAtFirstInfeasibleIsThreadCountInvariant) {
+  const graph::Graph g = families::oriented_ring(4);
+  const views::ViewClasses classes = views::compute_view_classes(g);
+  const std::vector<Stic> stics = analysis::enumerate_stics(g, 2);
+  const SticKernel kernel = classify_kernel(g, classes);
+
+  // Ground truth: index of the first infeasible STIC, found serially.
+  std::size_t expected_stop = stics.size();
+  for (std::size_t i = 0; i < stics.size(); ++i) {
+    if (!analysis::classify_stic(g, classes, stics[i]).feasible) {
+      expected_stop = i;
+      break;
+    }
+  }
+  ASSERT_LT(expected_stop, stics.size())
+      << "oriented_ring(4) must have an infeasible STIC in delay 0..2";
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    support::ThreadPool pool(threads);
+    SweepConfig config;
+    config.pool = &pool;
+    config.chunk_size = 3;
+    const SticSweepResult r =
+        run_stic_sweep(stics, kernel, config, stop_at_infeasible);
+    EXPECT_TRUE(r.stats.stopped_early);
+    EXPECT_EQ(r.stats.stop_index, expected_stop);
+    ASSERT_EQ(r.records.size(), expected_stop + 1);
+    EXPECT_FALSE(r.records.back().cls.feasible);
+    for (std::size_t i = 0; i < expected_stop; ++i) {
+      EXPECT_TRUE(r.records[i].cls.feasible);
+    }
+  }
+}
+
+TEST(SticSweep, ToTableSkipsRecordsWithoutCells) {
+  std::vector<SticRecord> records(3);
+  records[0].cells = {"a"};
+  records[2].cells = {"c"};
+  const support::Table table = to_table({"col"}, records);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_NE(table.to_csv().find("a\nc"), std::string::npos);
+}
+
+TEST(SticSweep, FeasibilitySweepMatchesAnalysisLayer) {
+  const graph::Graph g = families::oriented_ring(3);
+  core::UniversalOptions options;
+  options.max_phases = 120;
+  const sim::AgentProgram program = core::universal_rv_program(options);
+  sim::RunConfig config;
+  config.max_rounds = 1u << 23;
+
+  const analysis::SweepSummary via_sweep =
+      feasibility_sweep(g, 2, program, config);
+  const analysis::SweepSummary via_analysis =
+      analysis::feasibility_sweep(g, 2, program, config);
+
+  EXPECT_EQ(via_sweep.feasible, via_analysis.feasible);
+  EXPECT_EQ(via_sweep.infeasible, via_analysis.infeasible);
+  EXPECT_EQ(via_sweep.inconsistent, 0u);
+  EXPECT_EQ(via_analysis.inconsistent, 0u);
+  ASSERT_EQ(via_sweep.checks.size(), via_analysis.checks.size());
+  for (std::size_t i = 0; i < via_sweep.checks.size(); ++i) {
+    EXPECT_EQ(via_sweep.checks[i].cls.stic, via_analysis.checks[i].cls.stic);
+    EXPECT_EQ(via_sweep.checks[i].run.met, via_analysis.checks[i].run.met);
+    EXPECT_TRUE(via_sweep.checks[i].consistent);
+  }
+}
+
+TEST(SticSweep, FeasibilitySweepDeterministicAcrossThreadCounts) {
+  const graph::Graph g = families::path_graph(3);
+  core::UniversalOptions options;
+  options.max_phases = 120;
+  const sim::AgentProgram program = core::universal_rv_program(options);
+  sim::RunConfig config;
+  config.max_rounds = 1u << 23;
+
+  support::ThreadPool one(1);
+  SweepConfig sweep_one;
+  sweep_one.pool = &one;
+  support::ThreadPool many(4);
+  SweepConfig sweep_many;
+  sweep_many.pool = &many;
+
+  const analysis::SweepSummary r1 =
+      feasibility_sweep(g, 1, program, config, sweep_one);
+  const analysis::SweepSummary rn =
+      feasibility_sweep(g, 1, program, config, sweep_many);
+  ASSERT_EQ(r1.checks.size(), rn.checks.size());
+  for (std::size_t i = 0; i < r1.checks.size(); ++i) {
+    EXPECT_EQ(r1.checks[i].cls.stic, rn.checks[i].cls.stic);
+    EXPECT_EQ(r1.checks[i].cls.feasible, rn.checks[i].cls.feasible);
+    EXPECT_EQ(r1.checks[i].run.met, rn.checks[i].run.met);
+    EXPECT_EQ(r1.checks[i].run.meet_from_later_start,
+              rn.checks[i].run.meet_from_later_start);
+  }
+}
+
+}  // namespace
+}  // namespace rdv::sweep
