@@ -1,20 +1,31 @@
 // M2 — sweep-runner micro-benchmark: the same STIC feasibility kernel
 // executed through sweep::run_stic_sweep on a 1-thread pool
-// (sequential baseline) and on the default pool. Emits one
-// BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set, else the
-// working directory) for trend tracking.
+// (sequential baseline) and on the default pool.
+//
+// M3 — artifact-cache micro-benchmark: a repeated-graph classification
+// sweep (per-case ViewClasses + quotient resolution over a small set of
+// graphs) run uncached (recompute per case) vs through a
+// cache::ArtifactCache, with a byte-identity cross-check between the
+// two outputs.
+//
+// Emits one BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set,
+// else the working directory) covering both comparisons for trend
+// tracking.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "sweep/sweep.hpp"
+#include "views/quotient.hpp"
 #include "views/refinement.hpp"
 
 namespace {
@@ -32,12 +43,20 @@ double best_of_ms(int repeats, const std::function<void()>& fn) {
   return best;
 }
 
+/// One M3 case: a (graph, STIC) pair. Cases repeat graphs many times —
+/// the workload shape the cache exists for.
+struct CacheCase {
+  std::size_t graph = 0;
+  rdv::analysis::Stic stic;
+};
+
 }  // namespace
 
 int main() {
   namespace families = rdv::graph::families;
   using rdv::analysis::Stic;
 
+  // ---- M2: sequential vs pooled feasibility kernel -------------------
   const auto g = families::oriented_ring(rdv::analysis::full_mode() ? 8 : 6);
   const std::uint64_t max_delay = rdv::analysis::full_mode() ? 6 : 4;
   const auto classes = rdv::views::compute_view_classes(g);
@@ -75,17 +94,126 @@ int main() {
 
   rdv::support::Table table(
       {"config", "threads", "STICs", "best ms", "STICs/s"});
-  const auto rate = [&](double ms) {
+  const auto rate = [](double ms, std::size_t items) {
     return rdv::support::format_double(
-        ms > 0 ? 1000.0 * static_cast<double>(stics.size()) / ms : 0, 1);
+        ms > 0 ? 1000.0 * static_cast<double>(items) / ms : 0, 1);
   };
   table.add_row({"sequential", "1", std::to_string(stics.size()),
-                 rdv::support::format_double(seq_ms, 3), rate(seq_ms)});
+                 rdv::support::format_double(seq_ms, 3),
+                 rate(seq_ms, stics.size())});
   table.add_row({"pooled", std::to_string(pool_threads),
                  std::to_string(stics.size()),
-                 rdv::support::format_double(pool_ms, 3), rate(pool_ms)});
+                 rdv::support::format_double(pool_ms, 3),
+                 rate(pool_ms, stics.size())});
   rdv::analysis::emit_table(
       "micro_sweep", "M2: sweep runner, sequential vs pooled", table);
+
+  // ---- M3: uncached vs cached per-graph artifact resolution ----------
+  // A small set of distinct graphs, each appearing in many cases: the
+  // shape of every T-series sweep. The kernel resolves the graph's view
+  // partition and quotient PER CASE; uncached that is O(n^2 m) each
+  // time, cached it is one compute per distinct graph.
+  const std::uint32_t cache_n = rdv::analysis::full_mode() ? 10 : 8;
+  std::vector<rdv::graph::Graph> cache_graphs;
+  cache_graphs.push_back(families::oriented_ring(cache_n));
+  cache_graphs.push_back(families::scrambled_ring(cache_n, /*seed=*/11));
+  cache_graphs.push_back(families::path_graph(cache_n));
+  cache_graphs.push_back(families::complete(cache_n));
+  cache_graphs.push_back(families::oriented_torus(3, 3));
+
+  std::vector<CacheCase> cases;
+  for (std::size_t gi = 0; gi < cache_graphs.size(); ++gi) {
+    const rdv::graph::Graph& cg = cache_graphs[gi];
+    for (rdv::graph::Node u = 0; u < cg.size(); ++u) {
+      for (rdv::graph::Node v = 0; v < cg.size(); ++v) {
+        if (u != v) cases.push_back(CacheCase{gi, Stic{u, v, 0}});
+      }
+    }
+  }
+
+  // Rows carry (graph, u, v, symmetric?, quotient class count) — enough
+  // to prove the cached and uncached sweeps produce identical bytes.
+  const auto case_row = [&](const CacheCase& c,
+                            const rdv::views::ViewClasses& vc,
+                            const rdv::views::QuotientGraph& q) {
+    return std::vector<std::string>{
+        cache_graphs[c.graph].name(), std::to_string(c.stic.u),
+        std::to_string(c.stic.v),
+        vc.symmetric(c.stic.u, c.stic.v) ? "yes" : "no",
+        std::to_string(q.class_count())};
+  };
+  const std::function<std::vector<std::string>(std::size_t)> uncached_fn =
+      [&](std::size_t i) {
+        const CacheCase& c = cases[i];
+        const auto vc =
+            rdv::views::compute_view_classes(cache_graphs[c.graph]);
+        const auto q = rdv::views::build_quotient(cache_graphs[c.graph], vc);
+        return case_row(c, vc, q);
+      };
+  rdv::cache::ArtifactCache cache;
+  // Fingerprints resolved once per distinct graph (the pattern the
+  // fingerprint-reuse overloads exist for), so the cached timing
+  // measures artifact resolution, not redundant re-hashing.
+  std::vector<rdv::cache::GraphFingerprint> fingerprints;
+  fingerprints.reserve(cache_graphs.size());
+  for (const rdv::graph::Graph& cg : cache_graphs) {
+    fingerprints.push_back(rdv::cache::fingerprint(cg));
+  }
+  const std::function<std::vector<std::string>(std::size_t)> cached_fn =
+      [&](std::size_t i) {
+        const CacheCase& c = cases[i];
+        const auto vc =
+            cache.view_classes(cache_graphs[c.graph], fingerprints[c.graph]);
+        const auto q =
+            cache.quotient(cache_graphs[c.graph], fingerprints[c.graph]);
+        return case_row(c, *vc, *q);
+      };
+
+  using Rows = std::vector<std::vector<std::string>>;
+  Rows uncached_rows;
+  Rows cached_rows;
+  const double uncached_ms = best_of_ms(repeats, [&] {
+    uncached_rows = rdv::sweep::sweep_map<std::vector<std::string>>(
+        cases.size(), uncached_fn, pool_config);
+  });
+  // One un-timed pass yields PER-SWEEP hit/miss counters (best_of_ms
+  // would accumulate stats across every repeat) and warms the cache, so
+  // cached_ms below is the steady-state number.
+  cached_rows = rdv::sweep::sweep_map<std::vector<std::string>>(
+      cases.size(), cached_fn, pool_config);
+  const rdv::cache::CacheStats cache_stats = cache.stats();
+  const double cached_ms = best_of_ms(repeats, [&] {
+    cached_rows = rdv::sweep::sweep_map<std::vector<std::string>>(
+        cases.size(), cached_fn, pool_config);
+  });
+  // Determinism cross-check: the cache must not change a single byte.
+  const std::vector<std::string> cache_headers = {"graph", "u", "v",
+                                                  "symmetric", "classes"};
+  rdv::support::Table uncached_table(cache_headers);
+  rdv::support::Table cached_table(cache_headers);
+  for (const auto& row : uncached_rows) uncached_table.add_row(row);
+  for (const auto& row : cached_rows) cached_table.add_row(row);
+  if (uncached_table.to_csv() != cached_table.to_csv()) {
+    std::fprintf(stderr,
+                 "error: cached sweep output differs from uncached\n");
+    return 1;
+  }
+
+  rdv::support::Table cache_cmp(
+      {"config", "cases", "graphs", "best ms", "cases/s", "hits", "misses"});
+  cache_cmp.add_row({"uncached", std::to_string(cases.size()),
+                     std::to_string(cache_graphs.size()),
+                     rdv::support::format_double(uncached_ms, 3),
+                     rate(uncached_ms, cases.size()), "-", "-"});
+  cache_cmp.add_row({"cached", std::to_string(cases.size()),
+                     std::to_string(cache_graphs.size()),
+                     rdv::support::format_double(cached_ms, 3),
+                     rate(cached_ms, cases.size()),
+                     std::to_string(cache_stats.total_hits()),
+                     std::to_string(cache_stats.total_misses())});
+  rdv::analysis::emit_table(
+      "micro_sweep_cache",
+      "M3: repeated-graph artifact sweep, uncached vs cached", cache_cmp);
 
   const char* dir = std::getenv("REPRO_CSV_DIR");
   const std::string json_path =
@@ -97,7 +225,15 @@ int main() {
        << ",\"chunk_size\":" << pool_config.chunk_size
        << ",\"seq_ms\":" << seq_ms << ",\"pool_ms\":" << pool_ms
        << ",\"pool_threads\":" << pool_threads << ",\"speedup\":"
-       << (pool_ms > 0 ? seq_ms / pool_ms : 0) << "}\n";
+       << (pool_ms > 0 ? seq_ms / pool_ms : 0)
+       << ",\"cache_items\":" << cases.size()
+       << ",\"cache_graphs\":" << cache_graphs.size()
+       << ",\"uncached_ms\":" << uncached_ms
+       << ",\"cached_ms\":" << cached_ms << ",\"cache_speedup\":"
+       << (cached_ms > 0 ? uncached_ms / cached_ms : 0)
+       << ",\"cache_hits\":" << cache_stats.total_hits()
+       << ",\"cache_misses\":" << cache_stats.total_misses()
+       << ",\"cache_bytes\":" << cache_stats.total_bytes() << "}\n";
   json.flush();
   if (!json) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());

@@ -2,16 +2,24 @@
 //   * oriented torus: Shrink(u,v) = dist(u,v) for every pair;
 //   * symmetric double trees: Shrink = 1 for every symmetric pair,
 //     at arbitrary distance.
+//
+// Runs on sweep::run_stic_sweep: each graph's symmetric pairs become a
+// STIC case list whose per-pair Shrink (the expensive product BFS)
+// executes chunked on the shared pool; the view partition is resolved
+// once per graph through the artifact cache.
 #include <cstdio>
+#include <memory>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "graph/families/families.hpp"
 #include "support/table.hpp"
+#include "sweep/sweep.hpp"
 #include "views/refinement.hpp"
-#include "views/shrink.hpp"
 
 int main() {
   namespace families = rdv::graph::families;
+  using rdv::analysis::Stic;
   using rdv::graph::Graph;
   using rdv::graph::Node;
 
@@ -32,14 +40,31 @@ int main() {
   }
 
   for (const Graph& g : graphs) {
-    const auto pairs = rdv::views::symmetric_pairs(g);
+    const std::shared_ptr<const rdv::views::ViewClasses> classes =
+        rdv::cache::cached_view_classes(g);
+    std::vector<Stic> pairs;
+    for (const auto& [u, v] : rdv::views::symmetric_pairs(g, *classes)) {
+      pairs.push_back(Stic{u, v, 0});
+    }
+    // Kernel computes Shrink (record.cls.shrink) on the pool; the cheap
+    // BFS distance rides along in the merge loop below.
+    const rdv::sweep::SticKernel kernel = [&g, &classes](const Stic& stic) {
+      rdv::sweep::SticRecord record;
+      record.stic = stic;
+      record.cls = rdv::analysis::classify_stic(g, *classes, stic);
+      return record;
+    };
+    const rdv::sweep::SticSweepResult result =
+        rdv::sweep::run_stic_sweep(pairs, kernel);
+
     std::uint32_t max_dist = 0;
     std::uint32_t max_shrink = 0;
     bool shrink_eq_dist = true;
     bool shrink_eq_one = true;
-    for (const auto& [u, v] : pairs) {
-      const std::uint32_t dist = rdv::graph::distance(g, u, v);
-      const std::uint32_t s = rdv::views::shrink(g, u, v);
+    for (const rdv::sweep::SticRecord& record : result.records) {
+      const std::uint32_t dist =
+          rdv::graph::distance(g, record.stic.u, record.stic.v);
+      const std::uint32_t s = record.cls.shrink;
       max_dist = std::max(max_dist, dist);
       max_shrink = std::max(max_shrink, s);
       if (s != dist) shrink_eq_dist = false;

@@ -5,8 +5,10 @@
 // the sharded sweep runner, so every row can run on a different pool
 // worker; the merge-by-index contract keeps the table in case order.
 #include <cstdio>
+#include <memory>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "graph/families/families.hpp"
@@ -14,7 +16,6 @@
 #include "support/saturating.hpp"
 #include "support/table.hpp"
 #include "sweep/sweep.hpp"
-#include "uxs/corpus.hpp"
 #include "views/shrink.hpp"
 
 int main() {
@@ -41,17 +42,17 @@ int main() {
   }
 
   // Item i = case i/2 at delay d + i%2. Shrink and the UXS are
-  // precomputed serially (cached_uxs memoizes behind a mutex); the
-  // simulations — the actual cost — run through the pool.
+  // precomputed serially (the artifact cache computes each size once);
+  // the simulations — the actual cost — run through the pool.
   struct Prepared {
     std::uint32_t d;
-    const rdv::uxs::Uxs* y;
+    std::shared_ptr<const rdv::uxs::Uxs> y;
   };
   std::vector<Prepared> prepared;
   prepared.reserve(cases.size());
   for (const Case& c : cases) {
     prepared.push_back({rdv::views::shrink(c.g, c.u, c.v),
-                        &rdv::uxs::cached_uxs(c.g.size())});
+                        rdv::cache::cached_uxs(c.g.size())});
   }
 
   const std::function<std::vector<std::string>(std::size_t)> row_for =

@@ -2,19 +2,27 @@
 // rendezvous from nonsymmetric positions at any delay, in time
 // polynomial in n and delta. Shows measured times against the
 // asymm_rv_time_bound budget across sizes and delays.
+//
+// Runs on sweep::run_stic_sweep: each size's delay cases execute as one
+// chunked sweep on the shared pool, and the corpus-verified UXS is
+// resolved through the artifact cache (computed once per size no matter
+// how many delay cases race for it).
 #include <cstdio>
+#include <memory>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/asymm_rv.hpp"
 #include "core/bounds.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
+#include "sweep/sweep.hpp"
 
 int main() {
   namespace families = rdv::graph::families;
+  using rdv::analysis::Stic;
   using rdv::graph::Graph;
 
   rdv::support::Table table({"graph", "n", "delay", "M", "met",
@@ -26,25 +34,39 @@ int main() {
 
   for (const std::uint32_t n : sizes) {
     const Graph g = families::path_graph(n);
-    const auto& y = rdv::uxs::cached_uxs(n);
+    std::vector<Stic> stics;
     for (const std::uint64_t delay : {0ull, 2ull, 8ull}) {
+      stics.push_back(Stic{0, n / 2, delay});
+    }
+    const rdv::sweep::SticKernel kernel = [&g, n](const Stic& stic) {
+      const std::shared_ptr<const rdv::uxs::Uxs> y =
+          rdv::cache::cached_uxs(n);
       const std::uint64_t bound =
-          rdv::core::asymm_rv_time_bound(n, delay, y.length());
+          rdv::core::asymm_rv_time_bound(n, stic.delay, y->length());
       rdv::sim::RunConfig config;
-      config.max_rounds =
-          rdv::support::sat_add(rdv::support::sat_mul(2, bound), delay);
-      const auto r = rdv::sim::run_anonymous(
-          g, rdv::core::asymm_rv_program(n, y, bound), 0, n / 2, delay,
-          config);
-      table.add_row(
-          {g.name(), std::to_string(n), std::to_string(delay),
-           std::to_string(y.length()), r.met ? "yes" : "NO",
-           rdv::support::format_rounds(r.meet_from_later_start),
-           rdv::support::format_rounds(bound),
-           r.met ? rdv::support::format_double(
-                       static_cast<double>(r.meet_from_later_start) /
-                       static_cast<double>(bound))
-                 : "-"});
+      config.max_rounds = rdv::support::sat_add(
+          rdv::support::sat_mul(2, bound), stic.delay);
+      rdv::sweep::SticRecord record;
+      record.stic = stic;
+      record.run = rdv::sim::run_anonymous(
+          g, rdv::core::asymm_rv_program(n, *y, bound), stic.u, stic.v,
+          stic.delay, config);
+      const rdv::sim::RunResult& r = record.run;
+      record.cells = {
+          g.name(), std::to_string(n), std::to_string(stic.delay),
+          std::to_string(y->length()), r.met ? "yes" : "NO",
+          rdv::support::format_rounds(r.meet_from_later_start),
+          rdv::support::format_rounds(bound),
+          r.met ? rdv::support::format_double(
+                      static_cast<double>(r.meet_from_later_start) /
+                      static_cast<double>(bound))
+                : "-"};
+      return record;
+    };
+    const rdv::sweep::SticSweepResult result =
+        rdv::sweep::run_stic_sweep(stics, kernel);
+    for (const rdv::sweep::SticRecord& record : result.records) {
+      table.add_row(record.cells);
     }
   }
   rdv::analysis::emit_table(

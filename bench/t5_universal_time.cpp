@@ -4,13 +4,13 @@
 #include <cstdio>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
 
@@ -21,12 +21,12 @@ std::uint64_t schedule_budget_through(std::uint64_t P) {
   for (std::uint64_t p = 1; p <= P; ++p) {
     const auto t = rdv::core::phase_decode(p);
     if (t.d >= t.n) continue;
-    const auto& y =
-        rdv::uxs::cached_uxs(static_cast<std::uint32_t>(t.n));
+    const auto y =
+        rdv::cache::cached_uxs(static_cast<std::uint32_t>(t.n));
     total = rdv::support::sat_add(
         total,
         rdv::core::universal_phase_duration(t.n, t.d, t.delta,
-                                            y.length()));
+                                            y->length()));
   }
   return total;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "graph/families/families.hpp"
@@ -55,13 +56,13 @@ int main() {
                    arena_covered ? "yes" : "no", met, rounds,
                    rdv::support::format_rounds(bound)});
   }
-  const auto& verified = rdv::uxs::cached_uxs(n);
+  const auto verified = rdv::cache::cached_uxs(n);
   rdv::analysis::emit_table(
       "t8_uxs_ablation",
       "T8 (ablation): UXS length vs coverage and SymmRV cost (n=" +
           std::to_string(n) + ")",
       table);
   std::printf("\ncorpus-verified choice: %s\n",
-              verified.provenance().c_str());
+              verified->provenance().c_str());
   return 0;
 }

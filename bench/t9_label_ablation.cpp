@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/experiments.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/asymm_rv.hpp"
 #include "core/bounds.hpp"
 #include "core/signature.hpp"
@@ -13,7 +14,6 @@
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
 
 int main() {
@@ -35,7 +35,8 @@ int main() {
   }
 
   for (const Graph& g : graphs) {
-    const auto& y = rdv::uxs::cached_uxs(g.size());
+    const auto y_handle = rdv::cache::cached_uxs(g.size());
+    const rdv::uxs::Uxs& y = *y_handle;
     const auto classes = rdv::views::compute_view_classes(g);
 
     // Agreement: signature equality == symmetry, over all pairs.

@@ -8,11 +8,11 @@
 // (fully symmetric) crew that provably cannot even pairwise-meet.
 #include <cstdio>
 
+#include "cache/artifact_cache.hpp"
 #include "graph/families/families.hpp"
 #include "sim/multi_engine.hpp"
 #include "support/saturating.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 
 int main() {
   namespace families = rdv::graph::families;
@@ -23,7 +23,8 @@ int main() {
   using rdv::sim::Proc;
 
   const rdv::graph::Graph g = families::random_connected(12, 6, 42);
-  const auto& y = rdv::uxs::cached_uxs(g.size());
+  const auto y_handle = rdv::cache::cached_uxs(g.size());
+  const rdv::uxs::Uxs& y = *y_handle;
 
   AgentProgram waiter = [](Mailbox& mb, Observation) -> Proc {
     return [](Mailbox& mb2) -> Proc {

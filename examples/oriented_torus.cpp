@@ -4,12 +4,12 @@
 #include <cstdio>
 
 #include "analysis/optimal_search.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
 
@@ -26,7 +26,8 @@ int main() {
   rdv::support::Table table({"v", "dist(0,v)", "Shrink(0,v)", "delay",
                              "feasible?", "SymmRV met", "rounds",
                              "optimal search"});
-  const auto& y = rdv::uxs::cached_uxs(g.size());
+  const auto y_handle = rdv::cache::cached_uxs(g.size());
+  const rdv::uxs::Uxs& y = *y_handle;
   for (const Node v : {Node{1}, Node{4}, Node{8}}) {
     const std::uint32_t s = rdv::views::shrink(g, 0, v);
     for (std::uint64_t delay = s > 1 ? s - 1 : 0; delay <= s; ++delay) {

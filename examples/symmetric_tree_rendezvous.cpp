@@ -4,12 +4,12 @@
 // already makes rendezvous feasible, and SymmRV(n, 1, 1) achieves it.
 #include <cstdio>
 
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
 
@@ -29,7 +29,8 @@ int main() {
     const Node mirror = families::double_tree_mirror(g, deep);
 
     const std::uint32_t s = rdv::views::shrink(g, deep, mirror);
-    const auto& y = rdv::uxs::cached_uxs(g.size());
+    const auto y_handle = rdv::cache::cached_uxs(g.size());
+    const rdv::uxs::Uxs& y = *y_handle;
     const std::uint64_t bound =
         rdv::core::symm_rv_time_bound(g.size(), s, s, y.length());
 

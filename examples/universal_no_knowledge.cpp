@@ -3,13 +3,13 @@
 // round budgets the algorithm commits to in each phase.
 #include <cstdio>
 
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/pairing.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
-#include "uxs/corpus.hpp"
 
 int main() {
   namespace families = rdv::graph::families;
@@ -23,10 +23,10 @@ int main() {
     const bool executed = t.d < t.n;
     std::uint64_t duration = 0;
     if (executed) {
-      const auto& y =
-          rdv::uxs::cached_uxs(static_cast<std::uint32_t>(t.n));
+      const auto y =
+          rdv::cache::cached_uxs(static_cast<std::uint32_t>(t.n));
       duration = rdv::core::universal_phase_duration(t.n, t.d, t.delta,
-                                                     y.length());
+                                                     y->length());
     }
     schedule.add_row({std::to_string(P), std::to_string(t.n),
                       std::to_string(t.d), std::to_string(t.delta),

@@ -1,5 +1,8 @@
 #include "analysis/feasibility.hpp"
 
+#include <memory>
+
+#include "cache/artifact_cache.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rdv::analysis {
@@ -21,14 +24,15 @@ SweepSummary feasibility_sweep(const graph::Graph& g,
                                std::uint64_t max_delay,
                                const sim::AgentProgram& program,
                                const sim::RunConfig& config) {
-  const views::ViewClasses classes = views::compute_view_classes(g);
+  const std::shared_ptr<const views::ViewClasses> classes =
+      cache::cached_view_classes(g);
   const std::vector<Stic> stics = enumerate_stics(g, max_delay);
   SweepSummary summary;
   summary.checks.resize(stics.size());
   support::parallel_for(
       support::default_pool(), 0, stics.size(), [&](std::size_t i) {
         summary.checks[i] =
-            verify_stic(g, classes, stics[i], program, config);
+            verify_stic(g, *classes, stics[i], program, config);
       });
   for (const SticCheck& check : summary.checks) {
     if (check.cls.feasible) {

@@ -1,11 +1,15 @@
 #include "analysis/stics.hpp"
 
+#include "cache/artifact_cache.hpp"
 #include "views/shrink.hpp"
 
 namespace rdv::analysis {
 
 ClassifiedStic classify_stic(const graph::Graph& g, const Stic& stic) {
-  return classify_stic(g, views::compute_view_classes(g), stic);
+  // The convenience overload resolves the partition through the global
+  // artifact cache: callers classifying many STICs of one graph without
+  // precomputing classes no longer pay O(n^2 m) per call.
+  return classify_stic(g, *cache::cached_view_classes(g), stic);
 }
 
 ClassifiedStic classify_stic(const graph::Graph& g,

@@ -1,0 +1,120 @@
+#include "cache/artifact_cache.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "uxs/corpus.hpp"
+
+namespace rdv::cache {
+
+namespace {
+
+std::uint64_t view_classes_bytes(const views::ViewClasses& c) {
+  return c.class_of.size() * sizeof(std::uint32_t) + 2 * sizeof(std::uint32_t);
+}
+
+std::uint64_t quotient_bytes(const views::QuotientGraph& q) {
+  std::uint64_t bytes = q.multiplicity.size() * sizeof(std::uint32_t);
+  for (const auto& arcs : q.arcs) bytes += arcs.size() * sizeof(views::QuotientArc);
+  return bytes;
+}
+
+std::uint64_t uxs_bytes(const uxs::Uxs& y) {
+  return y.length() * sizeof(std::uint64_t) + y.provenance().size();
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return (end == raw || v == 0) ? fallback : static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(const CacheConfig& config)
+    : config_(config),
+      view_classes_(config.shards, config.capacity_per_shard, config.enabled),
+      quotients_(config.shards, config.capacity_per_shard, config.enabled),
+      uxs_(config.shards, config.capacity_per_shard, config.enabled) {}
+
+std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
+    const graph::Graph& g) {
+  return view_classes(g, fingerprint(g));
+}
+
+std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
+    const graph::Graph& g, const GraphFingerprint& fp) {
+  return view_classes_.get_or_compute(
+      fp, [&g] { return views::compute_view_classes(g); },
+      view_classes_bytes);
+}
+
+std::shared_ptr<const views::QuotientGraph> ArtifactCache::quotient(
+    const graph::Graph& g) {
+  return quotient(g, fingerprint(g));
+}
+
+std::shared_ptr<const views::QuotientGraph> ArtifactCache::quotient(
+    const graph::Graph& g, const GraphFingerprint& fp) {
+  return quotients_.get_or_compute(
+      fp,
+      [this, &g, &fp] { return views::build_quotient(g, *view_classes(g, fp)); },
+      quotient_bytes);
+}
+
+std::shared_ptr<const uxs::Uxs> ArtifactCache::uxs(std::uint32_t n) {
+  return uxs_.get_or_compute(
+      n, [n] { return uxs::corpus_verified_uxs(n); }, uxs_bytes);
+}
+
+CacheStats ArtifactCache::stats() const {
+  CacheStats stats;
+  stats.view_classes = view_classes_.stats();
+  stats.quotients = quotients_.stats();
+  stats.uxs = uxs_.stats();
+  return stats;
+}
+
+void ArtifactCache::clear() {
+  view_classes_.clear();
+  quotients_.clear();
+  uxs_.clear();
+}
+
+ArtifactCache& global_cache() {
+  static ArtifactCache* cache = [] {
+    CacheConfig config;
+    config.shards = env_size_t("RDV_CACHE_SHARDS", config.shards);
+    config.capacity_per_shard =
+        env_size_t("RDV_CACHE_CAPACITY", config.capacity_per_shard);
+    // Any value except empty/"0" disables (so =1, =true, =yes all work).
+    const char* disable = std::getenv("RDV_CACHE_DISABLE");
+    config.enabled = disable == nullptr || std::string_view(disable).empty() ||
+                     std::string_view(disable) == "0";
+    return new ArtifactCache(config);  // intentionally leaked: process-global
+  }();
+  return *cache;
+}
+
+std::shared_ptr<const views::ViewClasses> cached_view_classes(
+    const graph::Graph& g, ArtifactCache* cache) {
+  return (cache != nullptr ? *cache : global_cache()).view_classes(g);
+}
+
+std::shared_ptr<const views::QuotientGraph> cached_quotient(
+    const graph::Graph& g, ArtifactCache* cache) {
+  return (cache != nullptr ? *cache : global_cache()).quotient(g);
+}
+
+std::shared_ptr<const uxs::Uxs> cached_uxs(std::uint32_t n,
+                                           ArtifactCache* cache) {
+  return (cache != nullptr ? *cache : global_cache()).uxs(n);
+}
+
+uxs::UxsProvider cached_uxs_provider(ArtifactCache* cache) {
+  return [cache](std::uint32_t n) { return *cached_uxs(n, cache); };
+}
+
+}  // namespace rdv::cache

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "cache/fingerprint.hpp"
+#include "cache/sharded_store.hpp"
+#include "graph/graph.hpp"
+#include "uxs/uxs.hpp"
+#include "views/quotient.hpp"
+#include "views/refinement.hpp"
+
+/// Concurrent per-graph artifact cache (ISSUE 2 tentpole).
+///
+/// Sweep workloads evaluate thousands of (u, v, delay) cases over a
+/// handful of distinct graphs; the expensive per-GRAPH artifacts —
+/// ViewClasses partition refinement (O(n^2 m)), quotient graphs, and
+/// corpus-verified UXS construction — are pure functions of the graph
+/// structure (resp. the size n), so they are computed once per distinct
+/// fingerprint and shared as shared_ptr<const T> across all threads of
+/// all sweeps. Determinism contract: every artifact is a deterministic
+/// function of its key, so sweep output is byte-identical with the
+/// cache enabled, disabled, or at any thread count — the cache can only
+/// change WHEN artifacts are computed, never their values.
+namespace rdv::cache {
+
+struct CacheConfig {
+  /// Concurrency stripes per artifact store (>= 1).
+  std::size_t shards = 8;
+  /// LRU capacity per shard per store, in entries (>= 1); long sweeps
+  /// over streams of distinct graphs stay bounded at
+  /// shards * capacity_per_shard entries per artifact kind.
+  std::size_t capacity_per_shard = 64;
+  /// When false, nothing is retained and every request recomputes —
+  /// the reference configuration for determinism tests.
+  bool enabled = true;
+};
+
+struct CacheStats {
+  StoreStats view_classes;
+  StoreStats quotients;
+  StoreStats uxs;
+
+  [[nodiscard]] std::uint64_t total_hits() const {
+    return view_classes.hits + quotients.hits + uxs.hits;
+  }
+  [[nodiscard]] std::uint64_t total_misses() const {
+    return view_classes.misses + quotients.misses + uxs.misses;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return view_classes.bytes + quotients.bytes + uxs.bytes;
+  }
+};
+
+/// Thread-safe memoizing store for the three artifact kinds. Share one
+/// instance across every sweep touching the same graphs (the default
+/// entry points below use a process-global instance).
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(const CacheConfig& config = {});
+
+  /// View-equivalence partition of g, computed at most once per
+  /// structural fingerprint. The overloads taking a precomputed
+  /// fingerprint skip the O(n+m) re-hash — resolve fingerprint(g) once
+  /// per graph when a sweep kernel looks artifacts up per case.
+  [[nodiscard]] std::shared_ptr<const views::ViewClasses> view_classes(
+      const graph::Graph& g);
+  [[nodiscard]] std::shared_ptr<const views::ViewClasses> view_classes(
+      const graph::Graph& g, const GraphFingerprint& fp);
+
+  /// Quotient of g by view equivalence; resolves the partition through
+  /// the view-classes store (reusing one fingerprint for both), so a
+  /// quotient miss warms both.
+  [[nodiscard]] std::shared_ptr<const views::QuotientGraph> quotient(
+      const graph::Graph& g);
+  [[nodiscard]] std::shared_ptr<const views::QuotientGraph> quotient(
+      const graph::Graph& g, const GraphFingerprint& fp);
+
+  /// Corpus-verified UXS for size n (uxs::corpus_verified_uxs), keyed
+  /// by n.
+  [[nodiscard]] std::shared_ptr<const uxs::Uxs> uxs(std::uint32_t n);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+  [[nodiscard]] const CacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CacheConfig config_;
+  ShardedLruStore<GraphFingerprint, views::ViewClasses, FingerprintHash>
+      view_classes_;
+  ShardedLruStore<GraphFingerprint, views::QuotientGraph, FingerprintHash>
+      quotients_;
+  ShardedLruStore<std::uint32_t, uxs::Uxs> uxs_;
+};
+
+/// Process-global cache used when no explicit cache is supplied.
+/// Knobs (read once, at first use): RDV_CACHE_SHARDS,
+/// RDV_CACHE_CAPACITY (entries per shard), RDV_CACHE_DISABLE=1.
+[[nodiscard]] ArtifactCache& global_cache();
+
+/// Typed entry points: resolve through `cache`, or through
+/// global_cache() when cache is nullptr.
+[[nodiscard]] std::shared_ptr<const views::ViewClasses> cached_view_classes(
+    const graph::Graph& g, ArtifactCache* cache = nullptr);
+[[nodiscard]] std::shared_ptr<const views::QuotientGraph> cached_quotient(
+    const graph::Graph& g, ArtifactCache* cache = nullptr);
+[[nodiscard]] std::shared_ptr<const uxs::Uxs> cached_uxs(
+    std::uint32_t n, ArtifactCache* cache = nullptr);
+
+/// uxs::UxsProvider resolving through `cache` (nullptr: the global
+/// cache) — the canonical provider for the algorithms in core/
+/// (deterministic, so both anonymous agents derive identical
+/// sequences). The returned provider holds the raw pointer: a non-null
+/// `cache` must outlive every copy of the provider (pass nullptr when
+/// stashing it in long-lived options).
+[[nodiscard]] uxs::UxsProvider cached_uxs_provider(
+    ArtifactCache* cache = nullptr);
+
+}  // namespace rdv::cache

@@ -1,0 +1,61 @@
+#include "cache/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace rdv::cache {
+
+namespace {
+
+/// SplitMix64 finalizer (same scramble as support::SplitMix64) applied
+/// as a compression function: position-salted so permuted word streams
+/// hash differently.
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+constexpr std::uint64_t scramble(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct Lane {
+  std::uint64_t state;
+  std::uint64_t position = 0;
+
+  void absorb(std::uint64_t word) noexcept {
+    state = scramble(state ^ (word + kGamma * ++position));
+  }
+};
+
+}  // namespace
+
+GraphFingerprint fingerprint(const graph::Graph& g) {
+  Lane hi{/*state=*/0x8BADF00D5EED0001ULL};
+  Lane lo{/*state=*/0xC0FFEE0DDF00D002ULL};
+  const auto absorb = [&](std::uint64_t word) {
+    hi.absorb(word);
+    lo.absorb(word);
+  };
+  absorb(g.size());
+  for (graph::Node v = 0; v < g.size(); ++v) {
+    const auto edges = g.edges(v);
+    absorb(edges.size());
+    for (const graph::HalfEdge& e : edges) {
+      absorb((static_cast<std::uint64_t>(e.to) << 32) | e.rev_port);
+    }
+  }
+  GraphFingerprint fp;
+  fp.hi = scramble(hi.state);
+  fp.lo = scramble(lo.state);
+  fp.n = g.size();
+  return fp;
+}
+
+std::string to_string(const GraphFingerprint& fp) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "n=%u:%016llx/%016llx", fp.n,
+                static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo));
+  return buffer;
+}
+
+}  // namespace rdv::cache

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+/// Canonical graph fingerprints — the cache key of the artifact cache.
+///
+/// The fingerprint is a 128-bit hash over the graph's STRUCTURE: size,
+/// per-node degrees, and every (neighbor, reverse port) half-edge in
+/// port order. The name is deliberately excluded, so two differently
+/// named copies of the same port-labeled graph share one cache entry
+/// (every cached artifact — view classes, quotients — is a pure
+/// function of the structure). Isomorphic but relabelled graphs have
+/// different adjacency streams and therefore distinct keys: the cache
+/// never canonicalizes up to isomorphism, it only deduplicates exact
+/// structural repeats, which is what sweep workloads produce.
+namespace rdv::cache {
+
+struct GraphFingerprint {
+  /// Two independently seeded 64-bit lanes over the same word stream;
+  /// a collision requires both to collide simultaneously.
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  /// Graph size, kept in the clear for stats and sanity checks.
+  std::uint32_t n = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
+/// Hashes the structural word stream of g (name excluded; see above).
+[[nodiscard]] GraphFingerprint fingerprint(const graph::Graph& g);
+
+/// "n=8:0123456789abcdef/fedcba9876543210" for logs and tests.
+[[nodiscard]] std::string to_string(const GraphFingerprint& fp);
+
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(
+      const GraphFingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+}  // namespace rdv::cache

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 
+#include "cache/artifact_cache.hpp"
 #include "core/asymm_rv.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 
 namespace rdv::core {
 
@@ -17,7 +17,8 @@ using support::kRoundInfinity;
 using support::sat_add;
 using support::sat_mul;
 
-UniversalOptions::UniversalOptions() : provider(uxs::cached_provider()) {}
+UniversalOptions::UniversalOptions()
+    : provider(cache::cached_uxs_provider()) {}
 
 namespace {
 

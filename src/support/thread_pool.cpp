@@ -55,6 +55,28 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard lock(mutex_);
+    if (--pending_ == 0) cv_done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t TaskGroup::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
@@ -62,15 +84,16 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t chunks =
       std::min(total, std::max<std::size_t>(1, pool.thread_count() * 4));
   const std::size_t chunk = (total + chunks - 1) / chunks;
+  TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.submit([lo, hi, &fn] {
+    group.submit([lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  pool.wait_idle();
+  group.wait();
 }
 
 ThreadPool& default_pool() {

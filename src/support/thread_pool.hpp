@@ -48,9 +48,43 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Completion tracking for ONE batch of tasks on a shared pool.
+///
+/// ThreadPool::wait_idle() waits for the WHOLE pool — any concurrent
+/// sweep's tasks included — which over-synchronizes independent sweeps
+/// sharing default_pool(). A TaskGroup counts only the tasks submitted
+/// through it (counter + condition variable), so wait() returns as soon
+/// as this group's tasks are done, regardless of what else the pool is
+/// running. Reusable: after wait() returns, more tasks may be
+/// submitted. The destructor waits for any still-pending tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue a task on the pool, counted against this group.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted through THIS group has finished.
+  void wait();
+
+  /// Tasks submitted but not yet finished (monitoring/tests).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_done_;
+  std::size_t pending_ = 0;
+};
+
 /// Runs fn(i) for i in [begin, end) across the pool with contiguous
-/// chunking. Blocks until all iterations complete. With a 1-thread pool
-/// this degrades to a serial loop (our CI box has one core; the
+/// chunking. Blocks until all iterations complete (via a TaskGroup, so
+/// unrelated tasks on the same pool are not waited on). With a 1-thread
+/// pool this degrades to a serial loop (our CI box has one core; the
 /// structure still matches the HPC-sweep idiom).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);

@@ -1,5 +1,8 @@
 #include "sweep/sweep.hpp"
 
+#include <memory>
+
+#include "cache/artifact_cache.hpp"
 #include "views/refinement.hpp"
 
 namespace rdv::sweep {
@@ -29,14 +32,18 @@ analysis::SweepSummary feasibility_sweep(const graph::Graph& g,
                                          const sim::AgentProgram& program,
                                          const sim::RunConfig& run_config,
                                          const SweepConfig& sweep_config) {
-  const views::ViewClasses classes = views::compute_view_classes(g);
+  // Resolved through the artifact cache: repeated sweeps over the same
+  // graph (and concurrent sweeps on other threads) share one partition
+  // refinement. The shared_ptr keeps the artifact alive past eviction.
+  const std::shared_ptr<const views::ViewClasses> classes =
+      detail::effective_cache(sweep_config).view_classes(g);
   const std::vector<analysis::Stic> stics =
       analysis::enumerate_stics(g, max_delay);
   analysis::SweepSummary summary;
   summary.checks = sweep_map<analysis::SticCheck>(
       stics.size(),
       [&](std::size_t i) {
-        return analysis::verify_stic(g, classes, stics[i], program,
+        return analysis::verify_stic(g, *classes, stics[i], program,
                                      run_config);
       },
       sweep_config);

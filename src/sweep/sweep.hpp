@@ -9,6 +9,7 @@
 
 #include "analysis/feasibility.hpp"
 #include "analysis/stics.hpp"
+#include "cache/artifact_cache.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -31,9 +32,17 @@ struct SweepConfig {
   /// Items per chunk; 0 falls back to the default. Small chunks load-
   /// balance better, large chunks amortize scheduling.
   std::size_t chunk_size = 64;
-  /// Pool to run on; nullptr uses support::default_pool(). Kernels must
-  /// not submit work to the same pool (the runner waits on it).
+  /// Pool to run on; nullptr uses support::default_pool(). The runner
+  /// tracks its own chunks with a support::TaskGroup, so independent
+  /// sweeps may share one pool without waiting on each other; kernels
+  /// must still not BLOCK on the same pool (fire-and-forget submits are
+  /// fine).
   support::ThreadPool* pool = nullptr;
+  /// Per-graph artifact cache used by the kernels the sweep layer
+  /// builds itself (e.g. feasibility_sweep's view classes); nullptr
+  /// uses cache::global_cache(). Artifacts are deterministic functions
+  /// of the graph, so the cache choice never changes sweep output.
+  cache::ArtifactCache* cache = nullptr;
 };
 
 struct SweepStats {
@@ -56,6 +65,9 @@ inline std::size_t effective_chunk_size(const SweepConfig& config) {
 }
 inline support::ThreadPool& effective_pool(const SweepConfig& config) {
   return config.pool != nullptr ? *config.pool : support::default_pool();
+}
+inline cache::ArtifactCache& effective_cache(const SweepConfig& config) {
+  return config.cache != nullptr ? *config.cache : cache::global_cache();
 }
 }  // namespace detail
 
@@ -86,6 +98,10 @@ std::vector<R> sweep_map(std::size_t n,
   std::vector<std::vector<R>> chunk_out(chunks);
   std::vector<R> merged;
   merged.reserve(n);
+  // Per-sweep completion tracking: the group counts only this sweep's
+  // chunks, so concurrent sweeps sharing the pool never wait on each
+  // other (ThreadPool::wait_idle would wait for the whole pool).
+  support::TaskGroup group(pool);
   std::size_t next_chunk = 0;
   bool stopped = false;
   while (next_chunk < chunks && !stopped) {
@@ -94,13 +110,13 @@ std::vector<R> sweep_map(std::size_t n,
       const std::size_t lo = c * chunk_size;
       const std::size_t hi = std::min(n, lo + chunk_size);
       std::vector<R>* out = &chunk_out[c];
-      pool.submit([lo, hi, out, &fn] {
+      group.submit([lo, hi, out, &fn] {
         out->reserve(hi - lo);
         for (std::size_t i = lo; i < hi; ++i) out->push_back(fn(i));
       });
     }
     local.chunks_scheduled += wave_end - next_chunk;
-    pool.wait_idle();
+    group.wait();
     for (std::size_t c = next_chunk; c < wave_end && !stopped; ++c) {
       for (R& r : chunk_out[c]) {
         merged.push_back(std::move(r));

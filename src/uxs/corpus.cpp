@@ -1,7 +1,5 @@
 #include "uxs/corpus.hpp"
 
-#include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "graph/families/families.hpp"
@@ -99,21 +97,6 @@ Uxs corpus_verified_uxs(std::uint32_t n, std::uint64_t seed,
     length *= 2;
   }
   throw std::runtime_error("corpus_verified_uxs: no covering length up to cap");
-}
-
-const Uxs& cached_uxs(std::uint32_t n) {
-  static std::mutex mutex;
-  static std::map<std::uint32_t, Uxs> cache;
-  std::lock_guard lock(mutex);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, corpus_verified_uxs(n)).first;
-  }
-  return it->second;
-}
-
-UxsProvider cached_provider() {
-  return [](std::uint32_t n) { return cached_uxs(n); };
 }
 
 Uxs covering_uxs(const graph::Graph& g, std::uint64_t seed,

@@ -14,6 +14,9 @@
 /// covers the whole corpus. The result is typically dramatically
 /// shorter than worst-case constructions, which matters because
 /// SymmRV's cost is multiplicative in the UXS length (Lemma 3.3).
+/// Memoization lives one layer up: cache::cached_uxs /
+/// cache::cached_uxs_provider resolve these through the process-global
+/// artifact cache.
 namespace rdv::uxs {
 
 /// All library graphs of size exactly n: ring variants, path, complete,
@@ -30,14 +33,6 @@ namespace rdv::uxs {
 [[nodiscard]] Uxs corpus_verified_uxs(std::uint32_t n,
                                       std::uint64_t seed = kDefaultSeed,
                                       std::size_t max_length = 1u << 22);
-
-/// Process-wide memoized corpus_verified_uxs — the canonical provider
-/// used by the algorithms in core/ (deterministic, so both anonymous
-/// agents derive identical sequences).
-[[nodiscard]] const Uxs& cached_uxs(std::uint32_t n);
-
-/// UxsProvider wrapping cached_uxs.
-[[nodiscard]] UxsProvider cached_provider();
 
 /// Smallest doubling-length fixed-seed stream covering one specific
 /// graph (for experiments whose arena is known up front — e.g. sweeps

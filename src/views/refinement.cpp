@@ -96,8 +96,8 @@ std::uint32_t view_distance(const Graph& g, Node u, Node v) {
   }
 }
 
-std::vector<std::pair<Node, Node>> symmetric_pairs(const Graph& g) {
-  const ViewClasses classes = compute_view_classes(g);
+std::vector<std::pair<Node, Node>> symmetric_pairs(
+    const Graph& g, const ViewClasses& classes) {
   std::vector<std::pair<Node, Node>> pairs;
   for (Node u = 0; u < g.size(); ++u) {
     for (Node v = u + 1; v < g.size(); ++v) {
@@ -105,6 +105,10 @@ std::vector<std::pair<Node, Node>> symmetric_pairs(const Graph& g) {
     }
   }
   return pairs;
+}
+
+std::vector<std::pair<Node, Node>> symmetric_pairs(const Graph& g) {
+  return symmetric_pairs(g, compute_view_classes(g));
 }
 
 }  // namespace rdv::views

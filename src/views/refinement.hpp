@@ -40,6 +40,10 @@ struct ViewClasses {
 [[nodiscard]] std::vector<std::pair<graph::Node, graph::Node>>
 symmetric_pairs(const graph::Graph& g);
 
+/// Same, against a precomputed (possibly cached) partition.
+[[nodiscard]] std::vector<std::pair<graph::Node, graph::Node>>
+symmetric_pairs(const graph::Graph& g, const ViewClasses& classes);
+
 /// Sentinel for view_distance on symmetric pairs.
 inline constexpr std::uint32_t kViewsEqual = static_cast<std::uint32_t>(-1);
 

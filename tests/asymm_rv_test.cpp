@@ -1,13 +1,13 @@
 #include <gtest/gtest.h>
 
 #include "analysis/stics.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/asymm_rv.hpp"
 #include "core/bounds.hpp"
 #include "core/signature.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 #include "uxs/verifier.hpp"
 #include "views/refinement.hpp"
 
@@ -21,7 +21,8 @@ using sim::RunResult;
 namespace families = rdv::graph::families;
 
 RunResult run_asymm(const Graph& g, Node u, Node v, std::uint64_t delay) {
-  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  const auto y_handle = cache::cached_uxs(g.size());
+  const uxs::Uxs& y = *y_handle;
   EXPECT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
   const std::uint64_t budget =
       asymm_rv_time_bound(g.size(), delay, y.length());
@@ -42,7 +43,8 @@ TEST(Signature, SeparatesNonsymmetricNodes) {
       families::balanced_tree(2, 2),
   };
   for (const Graph& g : corpus) {
-    const uxs::Uxs& y = uxs::cached_uxs(g.size());
+    const auto y_handle = cache::cached_uxs(g.size());
+    const uxs::Uxs& y = *y_handle;
     ASSERT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
     const auto classes = views::compute_view_classes(g);
     for (Node u = 0; u < g.size(); ++u) {
@@ -63,7 +65,8 @@ TEST(Signature, PhysicalWalkMatchesOfflineComputation) {
   // The agent-side signature_walk (through the engine) must record the
   // exact bits signature_offline predicts from the observer side.
   const Graph g = families::random_connected(7, 4, 31);
-  const uxs::Uxs& y = uxs::cached_uxs(7);
+  const auto y_handle = cache::cached_uxs(7);
+  const uxs::Uxs& y = *y_handle;
   for (const Node start : {Node{0}, Node{3}, Node{6}}) {
     std::vector<bool> physical;
     sim::AgentProgram prog = [&](sim::Mailbox& mb,
@@ -115,7 +118,8 @@ TEST(AsymmRV, MeetsOnAllNonsymmetricPairsOfScrambledRing) {
 
 TEST(AsymmRV, RespectsTimeBound) {
   const Graph g = families::path_graph(4);
-  const uxs::Uxs& y = uxs::cached_uxs(4);
+  const auto y_handle = cache::cached_uxs(4);
+  const uxs::Uxs& y = *y_handle;
   for (std::uint64_t delay : {0ull, 2ull}) {
     const RunResult r = run_asymm(g, 0, 2, delay);
     ASSERT_TRUE(r.ok()) << r.error;
@@ -131,7 +135,8 @@ TEST(AsymmRV, ExactBudgetConsumption) {
   // single agent (partner effectively absent) and check it finishes at
   // its budget, at home.
   const Graph g = families::path_graph(5);
-  const uxs::Uxs& y = uxs::cached_uxs(5);
+  const auto y_handle = cache::cached_uxs(5);
+  const uxs::Uxs& y = *y_handle;
   for (const std::uint64_t budget : {0ull, 7ull, 100ull, 3001ull}) {
     RunConfig config;
     config.max_rounds = budget + 10;
@@ -152,7 +157,8 @@ TEST(AsymmRV, ExactBudgetConsumption) {
 TEST(AsymmRV, OracleLabelsAlsoMeet) {
   // Oracle mode (T9): hand the agents distinct labels directly.
   const Graph g = families::oriented_ring(5);  // symmetric pair!
-  const uxs::Uxs& y = uxs::cached_uxs(5);
+  const auto y_handle = cache::cached_uxs(5);
+  const uxs::Uxs& y = *y_handle;
   const std::uint64_t budget = asymm_rv_time_bound(5, 2, y.length());
   RunConfig config;
   config.max_rounds = 4 * budget;
@@ -169,7 +175,8 @@ TEST(AsymmRV, OracleLabelsAlsoMeet) {
 TEST(AsymmRV, IdenticalLabelsOnSymmetricPairNeverMeet) {
   // Sanity: symmetric positions + equal labels = lockstep forever.
   const Graph g = families::oriented_ring(6);
-  const uxs::Uxs& y = uxs::cached_uxs(6);
+  const auto y_handle = cache::cached_uxs(6);
+  const uxs::Uxs& y = *y_handle;
   const std::uint64_t budget = 5'000;
   RunConfig config;
   config.max_rounds = 20'000;

@@ -2,6 +2,7 @@
 
 #include "analysis/feasibility.hpp"
 #include "analysis/optimal_search.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "core/universal_rv.hpp"
@@ -9,7 +10,6 @@
 #include "graph/families/qhat.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 #include "uxs/verifier.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
@@ -87,7 +87,8 @@ TEST(Integration, SymmRVOnQhat2) {
   const std::uint32_t s = views::shrink(q.graph, q.root, v);
   ASSERT_GE(s, 1u);
   ASSERT_LE(s, 2u);
-  const uxs::Uxs& y = uxs::cached_uxs(q.graph.size());
+  const auto y_handle = cache::cached_uxs(q.graph.size());
+  const uxs::Uxs& y = *y_handle;
   ASSERT_TRUE(uxs::is_uxs_for(q.graph, y));
   sim::RunConfig config;
   config.max_rounds = support::sat_mul(

@@ -1,10 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "cache/artifact_cache.hpp"
 #include "core/explore.hpp"
 #include "graph/families/families.hpp"
 #include "sim/multi_engine.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 #include "uxs/uxs.hpp"
 
 namespace rdv::sim {
@@ -78,7 +78,8 @@ TEST(MultiEngine, WaitingForMommy) {
   // The paper's reduction (Section 1): with roles assigned, non-leaders
   // wait and the leader explores — the leader meets every waiter.
   const Graph g = families::random_connected(9, 4, 13);
-  const auto& y = uxs::cached_uxs(9);
+  const auto y_handle = cache::cached_uxs(9);
+  const uxs::Uxs& y = *y_handle;
   AgentProgram leader = [&y](Mailbox& mb, Observation) -> Proc {
     return [](Mailbox& mb2, uxs::Uxs seq) -> Proc {
       // Walk the UXS application (covers all nodes), then halt.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 
@@ -103,6 +104,61 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   bool ran = false;
   parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(TaskGroup, RunsAllTasksAndWaits) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    group.submit([&count] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.wait();
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(TaskGroup, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      group.submit([&count] { count.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+// The per-sweep completion-tracking contract (ROADMAP): waiting on one
+// group must NOT wait for the rest of the pool. Group B parks a task on
+// a gate; group A's wait() still returns — with wait_idle() this test
+// would deadlock.
+TEST(TaskGroup, WaitDoesNotWaitForOtherGroupsTasks) {
+  ThreadPool pool(2);
+  TaskGroup blocked(pool);
+  TaskGroup quick(pool);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  blocked.submit([opened] { opened.wait(); });
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    quick.submit([&count] { count.fetch_add(1); });
+  }
+  quick.wait();
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(quick.pending(), 0u);
+  gate.set_value();
+  blocked.wait();
+  EXPECT_EQ(blocked.pending(), 0u);
 }
 
 TEST(Table, MarkdownShape) {

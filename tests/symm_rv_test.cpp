@@ -1,12 +1,12 @@
 #include <gtest/gtest.h>
 
 #include "analysis/stics.hpp"
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/symm_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 #include "uxs/verifier.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
@@ -23,7 +23,8 @@ namespace families = rdv::graph::families;
 RunResult run_symm(const Graph& g, Node u, Node v, std::uint64_t delay,
                    std::uint32_t d, std::uint64_t delta_param,
                    std::uint64_t cap = 0) {
-  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  const auto y_handle = cache::cached_uxs(g.size());
+  const uxs::Uxs& y = *y_handle;
   EXPECT_TRUE(uxs::is_uxs_for(g, y)) << g.name();
   RunConfig config;
   config.max_rounds =
@@ -75,7 +76,8 @@ TEST(SymmRV, MeetsWithDelayBetweenDAndDelta) {
 
 TEST(SymmRV, RespectsLemma33TimeBound) {
   const Graph g = families::symmetric_double_tree(2, 1);
-  const uxs::Uxs& y = uxs::cached_uxs(g.size());
+  const auto y_handle = cache::cached_uxs(g.size());
+  const uxs::Uxs& y = *y_handle;
   const Node v = families::double_tree_mirror(g, 0);
   const RunResult r = run_symm(g, 0, v, 1, 1, 1);
   ASSERT_TRUE(r.ok()) << r.error;
@@ -110,7 +112,8 @@ TEST(SymmRV, CompletesAndReturnsHomeWithoutPartner) {
   // A single agent finishing SymmRV ends at its start node
   // (Algorithm 1's final backtrack).
   const Graph g = families::oriented_ring(5);
-  const uxs::Uxs& y = uxs::cached_uxs(5);
+  const auto y_handle = cache::cached_uxs(5);
+  const uxs::Uxs& y = *y_handle;
   sim::RunConfig config;
   config.max_rounds = support::sat_mul(
       4, symm_rv_time_bound(5, 1, 1, y.length()));

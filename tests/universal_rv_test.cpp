@@ -1,11 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "cache/artifact_cache.hpp"
 #include "core/bounds.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "sim/engine.hpp"
 #include "support/saturating.hpp"
-#include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
 
@@ -109,8 +109,8 @@ TEST(UniversalRV, MeetsWithinGuaranteedPhaseBudget) {
   for (std::uint64_t p = 1; p <= P; ++p) {
     const PhaseTriple t = phase_decode(p);
     if (t.d >= t.n) continue;  // skipped phases consume no rounds
-    const std::uint64_t M = uxs::cached_uxs(
-        static_cast<std::uint32_t>(t.n)).length();
+    const std::uint64_t M = cache::cached_uxs(
+        static_cast<std::uint32_t>(t.n))->length();
     budget = support::sat_add(
         budget, universal_phase_duration(t.n, t.d, t.delta, M));
   }

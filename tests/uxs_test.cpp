@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cache/artifact_cache.hpp"
 #include "graph/families/families.hpp"
 #include "graph/families/qhat.hpp"
 #include "uxs/corpus.hpp"
@@ -95,10 +96,14 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CorpusUxsTest,
                          ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u, 12u, 17u));
 
 TEST(CorpusUxs, CachedIsStable) {
-  const Uxs& a = cached_uxs(6);
-  const Uxs& b = cached_uxs(6);
-  EXPECT_EQ(&a, &b);
-  EXPECT_EQ(a.provenance(), corpus_verified_uxs(6).provenance());
+  // The global artifact cache is the one process-wide UXS memoizer:
+  // repeated requests share one artifact.
+  const auto a = cache::cached_uxs(6);
+  const auto b = cache::cached_uxs(6);
+  if (cache::global_cache().config().enabled) {
+    EXPECT_EQ(a.get(), b.get());
+  }
+  EXPECT_EQ(a->provenance(), corpus_verified_uxs(6).provenance());
 }
 
 TEST(CoveringUxs, CoversArbitraryGraph) {
@@ -116,7 +121,7 @@ TEST(CorpusUxs, CoversQhat2) {
   // qhat_size(2) = 17, so the size-17 corpus includes Q-hat-2; the
   // cached UXS must cover it (needed by UniversalRV runs on Q-hat).
   const auto q = rdv::graph::families::qhat_explicit(2);
-  EXPECT_TRUE(is_uxs_for(q.graph, cached_uxs(17)));
+  EXPECT_TRUE(is_uxs_for(q.graph, *cache::cached_uxs(17)));
 }
 
 }  // namespace
