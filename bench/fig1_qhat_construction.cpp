@@ -1,53 +1,6 @@
-// F1 — Figure 1, Section 4: the Q-hat construction.
-// Regenerates the structural facts the figure illustrates: node/edge
-// counts, 4-regularity, the N-S / E-W port discipline on every edge,
-// leaf counts per type, and full symmetry (one view class).
-#include <cstdio>
+// Thin shim: F1 now lives in
+// src/exp/scenarios/fig1_qhat_construction.cpp and runs on the
+// experiment registry (see bench/rdv_bench.cpp for the unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "graph/families/qhat.hpp"
-#include "support/table.hpp"
-#include "views/refinement.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Node;
-  using rdv::graph::Port;
-
-  rdv::support::Table table({"h", "nodes", "= 1+2(3^h-1)", "edges",
-                             "4-regular", "N-S/E-W ports",
-                             "leaves/type = 3^(h-1)", "view classes"});
-  const std::uint32_t max_h = rdv::analysis::full_mode() ? 6u : 4u;
-  for (std::uint32_t h = 2; h <= max_h; ++h) {
-    const auto q = families::qhat_explicit(h);
-    bool regular = true;
-    bool opposite_ports = true;
-    for (Node v = 0; v < q.graph.size(); ++v) {
-      if (q.graph.degree(v) != 4) regular = false;
-      for (Port p = 0; p < q.graph.degree(v); ++p) {
-        if (q.graph.step(v, p).entry_port !=
-            rdv::graph::families::to_port(
-                opposite(static_cast<families::Dir>(p)))) {
-          opposite_ports = false;
-        }
-      }
-    }
-    bool leaf_counts = true;
-    for (const auto& leaves : q.leaves_by_type) {
-      if (leaves.size() != families::qhat_leaves_per_type(h)) {
-        leaf_counts = false;
-      }
-    }
-    const auto classes = rdv::views::compute_view_classes(q.graph);
-    table.add_row(
-        {std::to_string(h), std::to_string(q.graph.size()),
-         std::to_string(families::qhat_size(h)),
-         std::to_string(q.graph.edge_count()), regular ? "yes" : "NO",
-         opposite_ports ? "yes" : "NO", leaf_counts ? "yes" : "NO",
-         std::to_string(classes.class_count)});
-  }
-  rdv::analysis::emit_table(
-      "f1_qhat_construction",
-      "F1 (Figure 1, Section 4): Q-hat construction", table);
-  return 0;
-}
+int main() { return rdv::exp::run_single("f1_qhat_construction"); }

@@ -1,0 +1,8 @@
+// The unified experiment driver: lists, filters, and runs every
+// experiment registered in src/exp/ on the parallel sweep substrate.
+//   rdv_bench --list
+//   rdv_bench t5_universal_time fig1
+//   rdv_bench --all --smoke --check
+#include "exp/driver.hpp"
+
+int main(int argc, char** argv) { return rdv::exp::run_main(argc, argv); }

@@ -1,102 +1,6 @@
-// T10 — the feasibility crossover, measured exactly.
-// Corollary 3.1 predicts a sharp threshold at delta = Shrink(u, v) for
-// symmetric pairs: below it NO algorithm meets, at it rendezvous is
-// possible. The exhaustive searcher certifies both sides and emits the
-// optimal witness string at the threshold, which is replayed through
-// the simulation engine as an end-to-end consistency check.
-#include <cstdio>
+// Thin shim: T10 now lives in
+// src/exp/scenarios/t10_optimal_crossover.cpp and runs on the
+// experiment registry (see bench/rdv_bench.cpp for the unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "analysis/optimal_search.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/table.hpp"
-#include "views/refinement.hpp"
-#include "views/shrink.hpp"
-
-namespace {
-
-std::string render_witness(
-    const std::vector<rdv::analysis::ObliviousAction>& witness) {
-  std::string out;
-  for (const auto a : witness) {
-    if (!out.empty()) out += ' ';
-    out += (a == 0) ? "w" : "p" + std::to_string(a - 1);
-  }
-  return out.empty() ? "(empty)" : out;
-}
-
-}  // namespace
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"graph", "pair", "Shrink", "delta=S-1",
-                             "delta=S optimal", "witness", "replay ok"});
-
-  struct Case {
-    Graph g;
-    Node u, v;
-  };
-  std::vector<Case> cases;
-  cases.push_back({families::two_node_graph(), 0, 1});
-  cases.push_back({families::oriented_ring(5), 0, 2});
-  cases.push_back({families::oriented_ring(6), 0, 3});
-  cases.push_back({families::oriented_torus(3, 3), 0, 4});
-  {
-    Graph g = families::symmetric_double_tree(2, 2);
-    const Node m = families::double_tree_mirror(g, 5);
-    cases.push_back({std::move(g), 5, m});
-  }
-  if (rdv::analysis::full_mode()) {
-    cases.push_back({families::hypercube(3), 0, 7});
-    cases.push_back({families::oriented_ring(8), 0, 4});
-  }
-
-  for (const Case& c : cases) {
-    const std::uint32_t s = rdv::views::shrink(c.g, c.u, c.v);
-    // Below the threshold: certified impossible.
-    std::string below = "(S=0)";
-    if (s >= 1) {
-      rdv::analysis::OptimalSearchConfig config;
-      config.horizon = 1u << 16;
-      const auto r =
-          rdv::analysis::optimal_oblivious(c.g, c.u, c.v, s - 1, config);
-      below = r.outcome ==
-                      rdv::analysis::OptimalOutcome::kProvenInfeasible
-                  ? "proven infeasible"
-                  : "UNEXPECTED";
-    }
-    // At the threshold: optimal time + witness + replay.
-    rdv::analysis::OptimalSearchConfig config;
-    config.horizon = 1u << 12;
-    config.want_witness = true;
-    const auto r = rdv::analysis::optimal_oblivious(c.g, c.u, c.v, s,
-                                                    config);
-    std::string at = "UNEXPECTED";
-    std::string witness = "-";
-    std::string replay = "-";
-    if (r.outcome == rdv::analysis::OptimalOutcome::kMet) {
-      at = "met@" + std::to_string(r.rounds);
-      witness = render_witness(r.witness);
-      rdv::sim::RunConfig run_config;
-      run_config.max_rounds = s + r.rounds + 8;
-      const auto run = rdv::sim::run_anonymous(
-          c.g, rdv::analysis::oblivious_program(r.witness), c.u, c.v, s,
-          run_config);
-      replay = (run.met && run.meet_from_later_start == r.rounds)
-                   ? "yes"
-                   : "NO";
-    }
-    table.add_row({c.g.name(),
-                   std::to_string(c.u) + "," + std::to_string(c.v),
-                   std::to_string(s), below, at, witness, replay});
-  }
-  rdv::analysis::emit_table(
-      "t10_optimal_crossover",
-      "T10: the delta = Shrink crossover, certified on both sides",
-      table);
-  return 0;
-}
+int main() { return rdv::exp::run_single("t10_optimal_crossover"); }

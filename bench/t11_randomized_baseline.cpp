@@ -1,85 +1,6 @@
-// T11 — the randomized baseline from the paper's conclusion:
-// "the synchronous randomized counterpart ... is straightforward ...
-// two random walks meet with high probability in time polynomial in
-// the size of the graph." Independent lazy random walks are run on
-// STICs that are deterministically FEASIBLE and, crucially, on
-// symmetric simultaneous-start STICs that are deterministically
-// IMPOSSIBLE (Lemma 3.1) — randomness breaks the symmetry that time
-// alone cannot.
-#include <cstdio>
+// Thin shim: T11 now lives in
+// src/exp/scenarios/t11_randomized_baseline.cpp and runs on the
+// experiment registry (see bench/rdv_bench.cpp for the unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "analysis/stics.hpp"
-#include "core/random_walk.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/table.hpp"
-#include "views/refinement.hpp"
-#include "views/shrink.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"graph", "n", "STIC", "deterministic",
-                             "runs met", "mean rounds", "max rounds"});
-
-  struct Case {
-    Graph g;
-    Node u, v;
-    std::uint64_t delay;
-  };
-  std::vector<Case> cases;
-  cases.push_back({families::oriented_ring(8), 0, 4, 0});
-  cases.push_back({families::oriented_ring(16), 0, 8, 0});
-  cases.push_back({families::oriented_torus(3, 3), 0, 4, 0});
-  cases.push_back({families::symmetric_double_tree(2, 2), 6, 13, 0});
-  cases.push_back({families::hypercube(3), 0, 7, 2});
-  if (rdv::analysis::full_mode()) {
-    cases.push_back({families::oriented_ring(32), 0, 16, 0});
-    cases.push_back({families::oriented_torus(5, 5), 0, 12, 0});
-    cases.push_back({families::random_connected(24, 12, 5), 0, 12, 0});
-  }
-
-  const int kRuns = rdv::analysis::full_mode() ? 50 : 20;
-  for (const Case& c : cases) {
-    const bool sym = rdv::views::symmetric(c.g, c.u, c.v);
-    const std::uint32_t s = rdv::views::shrink(c.g, c.u, c.v);
-    const bool feasible = !sym || c.delay >= s;
-    int met = 0;
-    std::uint64_t total = 0;
-    std::uint64_t worst = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      rdv::sim::RunConfig config;
-      config.max_rounds = 1u << 22;
-      const auto r = rdv::sim::run_pair(
-          c.g,
-          rdv::core::lazy_random_walk_program(1000 + 2 * run),
-          rdv::core::lazy_random_walk_program(2000 + 2 * run + 1), c.u,
-          c.v, c.delay, config);
-      if (r.met) {
-        ++met;
-        total += r.meet_from_later_start;
-        worst = std::max(worst, r.meet_from_later_start);
-      }
-    }
-    table.add_row(
-        {c.g.name(), std::to_string(c.g.size()),
-         "[(" + std::to_string(c.u) + "," + std::to_string(c.v) + ")," +
-             std::to_string(c.delay) + "]",
-         feasible ? "feasible" : "IMPOSSIBLE (Lemma 3.1)",
-         std::to_string(met) + "/" + std::to_string(kRuns),
-         met ? rdv::support::format_double(
-                   static_cast<double>(total) / met, 1)
-             : "-",
-         met ? std::to_string(worst) : "-"});
-  }
-  rdv::analysis::emit_table(
-      "t11_randomized_baseline",
-      "T11 (Conclusion remark): independent lazy random walks", table);
-  std::printf(
-      "\nRandomized agents meet in polynomial time even on STICs that "
-      "are impossible for every deterministic algorithm.\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t11_randomized_baseline"); }

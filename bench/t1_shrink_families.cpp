@@ -1,86 +1,6 @@
-// T1 — Section 3 examples after Definition 3.1:
-//   * oriented torus: Shrink(u,v) = dist(u,v) for every pair;
-//   * symmetric double trees: Shrink = 1 for every symmetric pair,
-//     at arbitrary distance.
-//
-// Runs on sweep::run_stic_sweep: each graph's symmetric pairs become a
-// STIC case list whose per-pair Shrink (the expensive product BFS)
-// executes chunked on the shared pool; the view partition is resolved
-// once per graph through the artifact cache.
-#include <cstdio>
-#include <memory>
+// Thin shim: T1 now lives in src/exp/scenarios/t1_shrink_families.cpp
+// and runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "graph/families/families.hpp"
-#include "support/table.hpp"
-#include "sweep/sweep.hpp"
-#include "views/refinement.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::analysis::Stic;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"graph", "sym pairs", "max distance",
-                             "max Shrink", "Shrink==dist everywhere?",
-                             "Shrink==1 everywhere?"});
-
-  std::vector<Graph> graphs;
-  graphs.push_back(families::oriented_torus(3, 3));
-  graphs.push_back(families::oriented_torus(4, 3));
-  graphs.push_back(families::oriented_ring(8));
-  graphs.push_back(families::symmetric_double_tree(2, 1));
-  graphs.push_back(families::symmetric_double_tree(2, 2));
-  graphs.push_back(families::symmetric_double_tree(3, 2));
-  if (rdv::analysis::full_mode()) {
-    graphs.push_back(families::oriented_torus(5, 4));
-    graphs.push_back(families::symmetric_double_tree(2, 4));
-  }
-
-  for (const Graph& g : graphs) {
-    const std::shared_ptr<const rdv::views::ViewClasses> classes =
-        rdv::cache::cached_view_classes(g);
-    std::vector<Stic> pairs;
-    for (const auto& [u, v] : rdv::views::symmetric_pairs(g, *classes)) {
-      pairs.push_back(Stic{u, v, 0});
-    }
-    // Kernel computes Shrink (record.cls.shrink) on the pool; the cheap
-    // BFS distance rides along in the merge loop below.
-    const rdv::sweep::SticKernel kernel = [&g, &classes](const Stic& stic) {
-      rdv::sweep::SticRecord record;
-      record.stic = stic;
-      record.cls = rdv::analysis::classify_stic(g, *classes, stic);
-      return record;
-    };
-    const rdv::sweep::SticSweepResult result =
-        rdv::sweep::run_stic_sweep(pairs, kernel);
-
-    std::uint32_t max_dist = 0;
-    std::uint32_t max_shrink = 0;
-    bool shrink_eq_dist = true;
-    bool shrink_eq_one = true;
-    for (const rdv::sweep::SticRecord& record : result.records) {
-      const std::uint32_t dist =
-          rdv::graph::distance(g, record.stic.u, record.stic.v);
-      const std::uint32_t s = record.cls.shrink;
-      max_dist = std::max(max_dist, dist);
-      max_shrink = std::max(max_shrink, s);
-      if (s != dist) shrink_eq_dist = false;
-      if (s != 1) shrink_eq_one = false;
-    }
-    table.add_row({g.name(), std::to_string(pairs.size()),
-                   std::to_string(max_dist), std::to_string(max_shrink),
-                   shrink_eq_dist ? "yes" : "no",
-                   shrink_eq_one ? "yes" : "no"});
-  }
-  rdv::analysis::emit_table("t1_shrink_families",
-                            "T1 (Section 3 examples): Shrink across "
-                            "families",
-                            table);
-  std::printf(
-      "\nPaper: tori cannot shrink (Shrink = dist); symmetric double "
-      "trees always shrink to 1.\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t1_shrink_families"); }

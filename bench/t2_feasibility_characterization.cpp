@@ -1,56 +1,6 @@
-// T2 — Corollary 3.1: a STIC [(u,v), delta] is feasible iff the nodes
-// are nonsymmetric, or symmetric with delta >= Shrink(u, v).
-// Cross-checks the predicate against full UniversalRV simulations over
-// every ordered STIC of each graph, on the sharded sweep runner.
-#include <cstdio>
+// Thin shim: T2 now lives in
+// src/exp/scenarios/t2_feasibility_characterization.cpp and runs on the
+// experiment registry (see bench/rdv_bench.cpp for the unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "core/universal_rv.hpp"
-#include "graph/families/families.hpp"
-#include "support/table.hpp"
-#include "sweep/sweep.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-
-  rdv::support::Table table({"graph", "STICs", "feasible", "infeasible",
-                             "sim agrees", "inconsistencies"});
-
-  struct Case {
-    Graph g;
-    std::uint64_t max_delay;
-    std::uint64_t max_phases;
-    std::uint64_t cap;
-  };
-  std::vector<Case> cases;
-  cases.push_back({families::two_node_graph(), 2, 60, 1u << 22});
-  cases.push_back({families::oriented_ring(3), 2, 120, 1u << 23});
-  cases.push_back({families::path_graph(3), 1, 120, 1u << 23});
-  if (rdv::analysis::full_mode()) {
-    cases.push_back({families::oriented_ring(4), 2, 150, 1u << 24});
-    cases.push_back(
-        {families::symmetric_double_tree(1, 1), 1, 150, 1u << 24});
-  }
-
-  for (const Case& c : cases) {
-    rdv::core::UniversalOptions options;
-    options.max_phases = c.max_phases;
-    rdv::sim::RunConfig config;
-    config.max_rounds = c.cap;
-    const auto summary = rdv::sweep::feasibility_sweep(
-        c.g, c.max_delay, rdv::core::universal_rv_program(options),
-        config);
-    table.add_row({c.g.name(), std::to_string(summary.checks.size()),
-                   std::to_string(summary.feasible),
-                   std::to_string(summary.infeasible),
-                   summary.inconsistent == 0 ? "yes" : "NO",
-                   std::to_string(summary.inconsistent)});
-  }
-  rdv::analysis::emit_table(
-      "t2_feasibility_characterization",
-      "T2 (Corollary 3.1): feasibility characterization vs UniversalRV",
-      table);
-  std::printf("\nEvery feasible STIC met; no infeasible STIC met.\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t2_feasibility_characterization"); }

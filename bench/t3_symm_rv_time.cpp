@@ -1,96 +1,6 @@
-// T3 — Lemmas 3.2 and 3.3: SymmRV(n, d, delta) meets for every
-// symmetric STIC with delta in [d, delta_param], within the bound
-// T(n, d, delta) = [(d+delta)(n-1)^d](M+2) + 2(M+1).
-// All cases' (u, v) x {d, d+1} delay grids flatten into ONE batch on
-// the sharded sweep runner, so every row can run on a different pool
-// worker; the merge-by-index contract keeps the table in case order.
-#include <cstdio>
-#include <memory>
+// Thin shim: T3 now lives in src/exp/scenarios/t3_symm_rv_time.cpp and
+// runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "core/bounds.hpp"
-#include "core/symm_rv.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/saturating.hpp"
-#include "support/table.hpp"
-#include "sweep/sweep.hpp"
-#include "views/shrink.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  struct Case {
-    Graph g;
-    Node u, v;
-  };
-  std::vector<Case> cases;
-  {
-    Graph g = families::symmetric_double_tree(2, 2);
-    const Node m = families::double_tree_mirror(g, g.size() / 2 - 1);
-    cases.push_back({std::move(g), 6, m});
-  }
-  cases.push_back({families::oriented_ring(6), 0, 2});
-  cases.push_back({families::oriented_ring(6), 0, 3});
-  cases.push_back({families::hypercube(3), 0, 5});
-  if (rdv::analysis::full_mode()) {
-    cases.push_back({families::oriented_torus(3, 3), 0, 4});
-    cases.push_back({families::hypercube(3), 0, 7});
-  }
-
-  // Item i = case i/2 at delay d + i%2. Shrink and the UXS are
-  // precomputed serially (the artifact cache computes each size once);
-  // the simulations — the actual cost — run through the pool.
-  struct Prepared {
-    std::uint32_t d;
-    std::shared_ptr<const rdv::uxs::Uxs> y;
-  };
-  std::vector<Prepared> prepared;
-  prepared.reserve(cases.size());
-  for (const Case& c : cases) {
-    prepared.push_back({rdv::views::shrink(c.g, c.u, c.v),
-                        rdv::cache::cached_uxs(c.g.size())});
-  }
-
-  const std::function<std::vector<std::string>(std::size_t)> row_for =
-      [&](std::size_t i) {
-        const Case& c = cases[i / 2];
-        const Prepared& p = prepared[i / 2];
-        const std::uint64_t delay =
-            static_cast<std::uint64_t>(p.d) + i % 2;
-        const std::uint64_t bound = rdv::core::symm_rv_time_bound(
-            c.g.size(), p.d, delay, p.y->length());
-        rdv::sim::RunConfig config;
-        config.max_rounds = rdv::support::sat_mul(4, bound);
-        const rdv::sim::RunResult r = rdv::sim::run_anonymous(
-            c.g, rdv::core::symm_rv_program(c.g.size(), p.d, delay, *p.y),
-            c.u, c.v, delay, config);
-        return std::vector<std::string>{
-            c.g.name(),
-            std::to_string(c.u) + "," + std::to_string(c.v),
-            std::to_string(p.d), std::to_string(delay),
-            std::to_string(p.y->length()), r.met ? "yes" : "NO",
-            rdv::support::format_rounds(r.meet_from_later_start),
-            rdv::support::format_rounds(bound),
-            r.met ? rdv::support::format_double(
-                        static_cast<double>(r.meet_from_later_start) /
-                        static_cast<double>(bound))
-                  : "-"};
-      };
-  rdv::sweep::SweepConfig sweep_config;
-  sweep_config.chunk_size = 1;  // one simulation per pool task
-  const auto rows = rdv::sweep::sweep_map<std::vector<std::string>>(
-      2 * cases.size(), row_for, sweep_config);
-
-  rdv::support::Table table({"graph", "pair", "d=Shrink", "delay", "M",
-                             "met", "measured rounds", "bound T",
-                             "measured/bound"});
-  for (const auto& row : rows) table.add_row(row);
-  rdv::analysis::emit_table(
-      "t3_symm_rv_time",
-      "T3 (Lemmas 3.2/3.3): SymmRV meets within T(n,d,delta)", table);
-  return 0;
-}
+int main() { return rdv::exp::run_single("t3_symm_rv_time"); }

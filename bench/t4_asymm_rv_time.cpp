@@ -1,79 +1,6 @@
-// T4 — Proposition 3.1 (substituted AsymmRV, DESIGN.md §2.2):
-// rendezvous from nonsymmetric positions at any delay, in time
-// polynomial in n and delta. Shows measured times against the
-// asymm_rv_time_bound budget across sizes and delays.
-//
-// Runs on sweep::run_stic_sweep: each size's delay cases execute as one
-// chunked sweep on the shared pool, and the corpus-verified UXS is
-// resolved through the artifact cache (computed once per size no matter
-// how many delay cases race for it).
-#include <cstdio>
-#include <memory>
+// Thin shim: T4 now lives in src/exp/scenarios/t4_asymm_rv_time.cpp and
+// runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "core/asymm_rv.hpp"
-#include "core/bounds.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/saturating.hpp"
-#include "support/table.hpp"
-#include "sweep/sweep.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::analysis::Stic;
-  using rdv::graph::Graph;
-
-  rdv::support::Table table({"graph", "n", "delay", "M", "met",
-                             "measured rounds", "budget bound",
-                             "measured/bound"});
-
-  std::vector<std::uint32_t> sizes = {4, 5, 6, 8};
-  if (rdv::analysis::full_mode()) sizes.push_back(12);
-
-  for (const std::uint32_t n : sizes) {
-    const Graph g = families::path_graph(n);
-    std::vector<Stic> stics;
-    for (const std::uint64_t delay : {0ull, 2ull, 8ull}) {
-      stics.push_back(Stic{0, n / 2, delay});
-    }
-    const rdv::sweep::SticKernel kernel = [&g, n](const Stic& stic) {
-      const std::shared_ptr<const rdv::uxs::Uxs> y =
-          rdv::cache::cached_uxs(n);
-      const std::uint64_t bound =
-          rdv::core::asymm_rv_time_bound(n, stic.delay, y->length());
-      rdv::sim::RunConfig config;
-      config.max_rounds = rdv::support::sat_add(
-          rdv::support::sat_mul(2, bound), stic.delay);
-      rdv::sweep::SticRecord record;
-      record.stic = stic;
-      record.run = rdv::sim::run_anonymous(
-          g, rdv::core::asymm_rv_program(n, *y, bound), stic.u, stic.v,
-          stic.delay, config);
-      const rdv::sim::RunResult& r = record.run;
-      record.cells = {
-          g.name(), std::to_string(n), std::to_string(stic.delay),
-          std::to_string(y->length()), r.met ? "yes" : "NO",
-          rdv::support::format_rounds(r.meet_from_later_start),
-          rdv::support::format_rounds(bound),
-          r.met ? rdv::support::format_double(
-                      static_cast<double>(r.meet_from_later_start) /
-                      static_cast<double>(bound))
-                : "-"};
-      return record;
-    };
-    const rdv::sweep::SticSweepResult result =
-        rdv::sweep::run_stic_sweep(stics, kernel);
-    for (const rdv::sweep::SticRecord& record : result.records) {
-      table.add_row(record.cells);
-    }
-  }
-  rdv::analysis::emit_table(
-      "t4_asymm_rv_time",
-      "T4 (Prop. 3.1 substitute): AsymmRV on nonsymmetric STICs",
-      table);
-  std::printf(
-      "\nTime grows polynomially with n and delta (contrast T5/T6).\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t4_asymm_rv_time"); }

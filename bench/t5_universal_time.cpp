@@ -1,97 +1,6 @@
-// T5 — Theorem 3.1 + Proposition 4.1: UniversalRV meets every feasible
-// STIC with zero knowledge; its time blows up like O(n+delta)^O(n+delta)
-// (the guaranteed phase index and its budget grow super-exponentially).
-#include <cstdio>
+// Thin shim: T5 now lives in src/exp/scenarios/t5_universal_time.cpp
+// and runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "core/bounds.hpp"
-#include "core/universal_rv.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/saturating.hpp"
-#include "support/table.hpp"
-#include "views/refinement.hpp"
-#include "views/shrink.hpp"
-
-namespace {
-
-std::uint64_t schedule_budget_through(std::uint64_t P) {
-  std::uint64_t total = 0;
-  for (std::uint64_t p = 1; p <= P; ++p) {
-    const auto t = rdv::core::phase_decode(p);
-    if (t.d >= t.n) continue;
-    const auto y =
-        rdv::cache::cached_uxs(static_cast<std::uint32_t>(t.n));
-    total = rdv::support::sat_add(
-        total,
-        rdv::core::universal_phase_duration(t.n, t.d, t.delta,
-                                            y->length()));
-  }
-  return total;
-}
-
-}  // namespace
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"STIC", "n", "delta", "sym?", "Shrink",
-                             "guaranteed phase P", "schedule budget",
-                             "met", "measured rounds"});
-
-  struct Case {
-    const char* label;
-    Graph g;
-    Node u, v;
-    std::uint64_t delay;
-  };
-  std::vector<Case> cases;
-  cases.push_back(
-      {"two-node delta=1", families::two_node_graph(), 0, 1, 1});
-  cases.push_back(
-      {"two-node delta=2", families::two_node_graph(), 0, 1, 2});
-  cases.push_back({"path(3) delta=0", families::path_graph(3), 0, 2, 0});
-  cases.push_back({"path(4) delta=1", families::path_graph(4), 0, 3, 1});
-  cases.push_back(
-      {"ring(3) delta=1", families::oriented_ring(3), 0, 1, 1});
-  if (rdv::analysis::full_mode()) {
-    cases.push_back(
-        {"ring(4) delta=2", families::oriented_ring(4), 0, 2, 2});
-    cases.push_back({"double-tree(1,1) delta=1",
-                     families::symmetric_double_tree(1, 1), 1, 3, 1});
-  }
-
-  for (Case& c : cases) {
-    const auto classes = rdv::views::compute_view_classes(c.g);
-    const bool sym = classes.symmetric(c.u, c.v);
-    const std::uint32_t shrink = rdv::views::shrink(c.g, c.u, c.v);
-    const std::uint64_t P =
-        sym ? rdv::core::guaranteed_phase_symmetric(c.g.size(), shrink,
-                                                    c.delay)
-            : rdv::core::guaranteed_phase_nonsymmetric(c.g.size(),
-                                                       c.delay);
-    rdv::core::UniversalOptions options;
-    options.max_phases = P + 8;
-    rdv::sim::RunConfig config;
-    config.max_rounds = 1u << 24;
-    const auto r = rdv::sim::run_anonymous(
-        c.g, rdv::core::universal_rv_program(options), c.u, c.v, c.delay,
-        config);
-    table.add_row({c.label, std::to_string(c.g.size()),
-                   std::to_string(c.delay), sym ? "yes" : "no",
-                   std::to_string(shrink), std::to_string(P),
-                   rdv::support::format_rounds(schedule_budget_through(P)),
-                   r.met ? "yes" : "NO",
-                   rdv::support::format_rounds(r.meet_from_later_start)});
-  }
-  rdv::analysis::emit_table(
-      "t5_universal_time",
-      "T5 (Thm 3.1 / Prop 4.1): UniversalRV, zero knowledge", table);
-  std::printf(
-      "\nThe schedule budget through the guaranteed phase grows "
-      "super-polynomially in n + delta.\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t5_universal_time"); }

@@ -1,61 +1,6 @@
-// T6 — Theorem 4.1: on Q-hat-h with h = 2D, D = 2k, any algorithm
-// serving every STIC [(r, v), D] with v in Z needs time >= 2^(k-1).
-// Regenerates the exponential curve: certified floor, Steiner-walk
-// floor for root-side strategies, the dedicated-Z algorithm's predicted
-// worst case, and the simulated worst case on the (lazily materialized)
-// theorem-regime graph.
-#include <algorithm>
-#include <cstdio>
+// Thin shim: T6 now lives in src/exp/scenarios/t6_lower_bound_qhat.cpp
+// and runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "analysis/steiner.hpp"
-#include "graph/families/qhat.hpp"
-#include "graph/families/qhat_implicit.hpp"
-#include "sim/engine.hpp"
-#include "support/table.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-
-  rdv::support::Table table({"k", "D=2k", "h=2D", "n (explicit)", "|Z|",
-                             "floor 2^(k-1)", "Steiner walk",
-                             "dedicated predicted worst",
-                             "simulated worst", "nodes materialized"});
-
-  const std::uint32_t max_k = rdv::analysis::full_mode() ? 7u : 5u;
-  for (std::uint32_t k = 1; k <= max_k; ++k) {
-    const families::QhatImplicitTopology topo(4 * k);
-    const auto z = families::qhat_z_set(topo, topo.root(), k);
-    const auto program = rdv::analysis::dedicated_z_program(k);
-    std::uint64_t worst = 0;
-    bool all_met = true;
-    rdv::sim::RunConfig config;
-    config.max_rounds = 64ull * k * (std::uint64_t{2} << k);
-    for (const auto v : z) {
-      const auto r = rdv::sim::run_anonymous(topo, program, topo.root(),
-                                             v, 2 * k, config);
-      if (!r.met) {
-        all_met = false;
-        continue;
-      }
-      worst = std::max(worst, r.meet_from_later_start);
-    }
-    table.add_row(
-        {std::to_string(k), std::to_string(2 * k), std::to_string(4 * k),
-         rdv::support::format_rounds(families::qhat_size(4 * k)),
-         std::to_string(z.size()),
-         std::to_string(rdv::analysis::theorem41_lower_bound(k)),
-         std::to_string(rdv::analysis::steiner_closed_walk(k)),
-         std::to_string(rdv::analysis::dedicated_z_predicted_rounds(
-             k, rdv::analysis::midpoint_count(k))),
-         all_met ? std::to_string(worst) : "MISSED",
-         std::to_string(topo.materialized())});
-  }
-  rdv::analysis::emit_table(
-      "t6_lower_bound_qhat",
-      "T6 (Theorem 4.1): exponential lower bound on Q-hat", table);
-  std::printf(
-      "\nAll columns scale like 2^k: rendezvous time exponential in the "
-      "initial distance D is unavoidable.\n");
-  return 0;
-}
+int main() { return rdv::exp::run_single("t6_lower_bound_qhat"); }

@@ -1,77 +1,6 @@
-// T7 — Lemma 3.1: symmetric STICs with delta < Shrink(u, v) are
-// infeasible. The optimal-oblivious search exhausts the entire joint
-// configuration space (for symmetric starts this covers ALL
-// deterministic algorithms) and certifies that no algorithm meets;
-// UniversalRV runs confirm by never meeting within large caps.
-#include <cstdio>
+// Thin shim: T7 now lives in src/exp/scenarios/t7_infeasible_stics.cpp
+// and runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "analysis/optimal_search.hpp"
-#include "core/universal_rv.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/table.hpp"
-#include "views/shrink.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"graph", "pair", "Shrink", "delta",
-                             "exhaustive search", "states",
-                             "UniversalRV met?"});
-
-  struct Case {
-    Graph g;
-    Node u, v;
-  };
-  std::vector<Case> cases;
-  cases.push_back({families::two_node_graph(), 0, 1});
-  cases.push_back({families::oriented_ring(6), 0, 3});
-  cases.push_back({families::oriented_ring(5), 0, 2});
-  {
-    Graph g = families::symmetric_double_tree(2, 1);
-    const Node m = families::double_tree_mirror(g, 1);
-    cases.push_back({std::move(g), 1, m});
-  }
-  if (rdv::analysis::full_mode()) {
-    cases.push_back({families::oriented_torus(3, 3), 0, 4});
-    cases.push_back({families::hypercube(3), 0, 7});
-  }
-
-  for (const Case& c : cases) {
-    const std::uint32_t s = rdv::views::shrink(c.g, c.u, c.v);
-    for (std::uint64_t delta = 0; delta < s; ++delta) {
-      rdv::analysis::OptimalSearchConfig search_config;
-      search_config.horizon = 1u << 16;
-      const auto opt =
-          rdv::analysis::optimal_oblivious(c.g, c.u, c.v, delta,
-                                           search_config);
-      const char* verdict =
-          opt.outcome == rdv::analysis::OptimalOutcome::kProvenInfeasible
-              ? "proven infeasible"
-              : (opt.outcome == rdv::analysis::OptimalOutcome::kMet
-                     ? "MET (bug!)"
-                     : "horizon");
-      rdv::core::UniversalOptions options;
-      options.max_phases = 40;
-      rdv::sim::RunConfig config;
-      config.max_rounds = 1u << 21;
-      const auto run = rdv::sim::run_anonymous(
-          c.g, rdv::core::universal_rv_program(options), c.u, c.v, delta,
-          config);
-      table.add_row({c.g.name(),
-                     std::to_string(c.u) + "," + std::to_string(c.v),
-                     std::to_string(s), std::to_string(delta), verdict,
-                     std::to_string(opt.states_explored),
-                     run.met ? "MET (bug!)" : "no"});
-    }
-  }
-  rdv::analysis::emit_table(
-      "t7_infeasible_stics",
-      "T7 (Lemma 3.1): delta < Shrink is infeasible — exhaustive "
-      "certificates",
-      table);
-  return 0;
-}
+int main() { return rdv::exp::run_single("t7_infeasible_stics"); }

@@ -1,68 +1,6 @@
-// T8 — ablation: UXS length vs corpus coverage and SymmRV cost.
-// The paper only needs a polynomial-length UXS to exist; in practice
-// the sequence length M multiplies SymmRV's cost (Lemma 3.3), so the
-// corpus-verified construction's short sequences matter. This table
-// shows coverage rate and SymmRV cost as the candidate length grows.
-#include <cstdio>
+// Thin shim: T8 now lives in src/exp/scenarios/t8_uxs_ablation.cpp and
+// runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "core/bounds.hpp"
-#include "core/symm_rv.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/saturating.hpp"
-#include "support/table.hpp"
-#include "uxs/corpus.hpp"
-#include "uxs/verifier.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-
-  const std::uint32_t n = 8;
-  const auto corpus = rdv::uxs::standard_corpus(n);
-  const Graph arena = families::hypercube(3);
-
-  rdv::support::Table table({"M (terms)", "corpus graphs covered",
-                             "covers hypercube(3)?", "SymmRV met",
-                             "SymmRV rounds", "bound T(8,1,1)"});
-
-  const std::size_t max_len = rdv::analysis::full_mode() ? 512u : 128u;
-  for (std::size_t len = 4; len <= max_len; len *= 2) {
-    const rdv::uxs::Uxs y = rdv::uxs::Uxs::pseudo_random(len);
-    std::size_t covered = 0;
-    for (const Graph& g : corpus) {
-      if (rdv::uxs::is_uxs_for(g, y)) ++covered;
-    }
-    const bool arena_covered = rdv::uxs::is_uxs_for(arena, y);
-
-    std::string met = "-";
-    std::string rounds = "-";
-    const std::uint64_t bound =
-        rdv::core::symm_rv_time_bound(n, 1, 1, y.length());
-    if (arena_covered) {
-      rdv::sim::RunConfig config;
-      config.max_rounds = rdv::support::sat_mul(4, bound);
-      const auto r = rdv::sim::run_anonymous(
-          arena, rdv::core::symm_rv_program(n, 1, 1, y), 0, 1, 1,
-          config);
-      met = r.met ? "yes" : "NO";
-      rounds = rdv::support::format_rounds(r.meet_from_later_start);
-    }
-    table.add_row({std::to_string(len),
-                   std::to_string(covered) + "/" +
-                       std::to_string(corpus.size()),
-                   arena_covered ? "yes" : "no", met, rounds,
-                   rdv::support::format_rounds(bound)});
-  }
-  const auto verified = rdv::cache::cached_uxs(n);
-  rdv::analysis::emit_table(
-      "t8_uxs_ablation",
-      "T8 (ablation): UXS length vs coverage and SymmRV cost (n=" +
-          std::to_string(n) + ")",
-      table);
-  std::printf("\ncorpus-verified choice: %s\n",
-              verified->provenance().c_str());
-  return 0;
-}
+int main() { return rdv::exp::run_single("t8_uxs_ablation"); }

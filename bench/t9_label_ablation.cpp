@@ -1,103 +1,6 @@
-// T9 — ablation: signature labels vs oracle labels in AsymmRV.
-// The substitute AsymmRV derives labels from UXS observation traces
-// (DESIGN.md §2.2); this table checks, per graph, that signature
-// equality coincides exactly with the view-class oracle, and compares
-// meeting times under signature labels vs exact-oracle labels.
-#include <cstdio>
+// Thin shim: T9 now lives in src/exp/scenarios/t9_label_ablation.cpp
+// and runs on the experiment registry (see bench/rdv_bench.cpp for the
+// unified driver).
+#include "exp/driver.hpp"
 
-#include "analysis/experiments.hpp"
-#include "cache/artifact_cache.hpp"
-#include "core/asymm_rv.hpp"
-#include "core/bounds.hpp"
-#include "core/signature.hpp"
-#include "graph/families/families.hpp"
-#include "sim/engine.hpp"
-#include "support/saturating.hpp"
-#include "support/table.hpp"
-#include "views/refinement.hpp"
-
-int main() {
-  namespace families = rdv::graph::families;
-  using rdv::graph::Graph;
-  using rdv::graph::Node;
-
-  rdv::support::Table table({"graph", "pairs", "label==oracle agree",
-                             "signature-label rounds",
-                             "oracle-label rounds"});
-
-  std::vector<Graph> graphs;
-  graphs.push_back(families::path_graph(5));
-  graphs.push_back(families::scrambled_ring(6, 19));
-  graphs.push_back(families::complete(4));
-  graphs.push_back(families::random_connected(7, 3, 6));
-  if (rdv::analysis::full_mode()) {
-    graphs.push_back(families::random_connected(10, 6, 8));
-  }
-
-  for (const Graph& g : graphs) {
-    const auto y_handle = rdv::cache::cached_uxs(g.size());
-    const rdv::uxs::Uxs& y = *y_handle;
-    const auto classes = rdv::views::compute_view_classes(g);
-
-    // Agreement: signature equality == symmetry, over all pairs.
-    std::size_t pairs = 0;
-    std::size_t agreements = 0;
-    for (Node u = 0; u < g.size(); ++u) {
-      for (Node v = u + 1; v < g.size(); ++v) {
-        ++pairs;
-        const bool sig_equal =
-            rdv::core::signature_offline(g, u, g.size(), y) ==
-            rdv::core::signature_offline(g, v, g.size(), y);
-        if (sig_equal == classes.symmetric(u, v)) ++agreements;
-      }
-    }
-
-    // Meeting times on one nonsymmetric pair under both label modes.
-    Node u = 0, v = 0;
-    for (Node a = 0; a < g.size() && u == v; ++a) {
-      for (Node b = a + 1; b < g.size(); ++b) {
-        if (!classes.symmetric(a, b)) {
-          u = a;
-          v = b;
-          break;
-        }
-      }
-    }
-    const std::uint64_t delay = 1;
-    const std::uint64_t bound =
-        rdv::core::asymm_rv_time_bound(g.size(), delay, y.length());
-    rdv::sim::RunConfig config;
-    config.max_rounds =
-        rdv::support::sat_add(rdv::support::sat_mul(2, bound), delay);
-    const auto sig_run = rdv::sim::run_anonymous(
-        g, rdv::core::asymm_rv_program(g.size(), y, bound), u, v, delay,
-        config);
-    // Oracle labels: the class id in unary-ish binary, distinct per
-    // class.
-    auto label_for = [&](Node w) {
-      std::vector<bool> bits;
-      const std::uint32_t c = classes.class_of[w];
-      for (int b = 7; b >= 0; --b) bits.push_back(((c >> b) & 1u) != 0);
-      return bits;
-    };
-    const auto oracle_run = rdv::sim::run_pair(
-        g, rdv::core::asymm_rv_program(g.size(), y, bound, label_for(u)),
-        rdv::core::asymm_rv_program(g.size(), y, bound, label_for(v)), u,
-        v, delay, config);
-
-    table.add_row(
-        {g.name(), std::to_string(pairs),
-         std::to_string(agreements) + "/" + std::to_string(pairs),
-         sig_run.met
-             ? rdv::support::format_rounds(sig_run.meet_from_later_start)
-             : "no-meet",
-         oracle_run.met ? rdv::support::format_rounds(
-                              oracle_run.meet_from_later_start)
-                        : "no-meet"});
-  }
-  rdv::analysis::emit_table(
-      "t9_label_ablation",
-      "T9 (ablation): signature labels vs view-class oracle labels",
-      table);
-  return 0;
-}
+int main() { return rdv::exp::run_single("t9_label_ablation"); }

@@ -1,9 +1,9 @@
 #include "analysis/experiments.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <cstring>
+
+#include "support/env.hpp"
 
 namespace rdv::analysis {
 
@@ -24,19 +24,15 @@ std::string rendezvous_cell(const std::optional<std::uint64_t>& rounds,
   return "no-meet(cap=" + std::to_string(cap) + ")";
 }
 
-bool full_mode() {
-  const char* env = std::getenv("REPRO_FULL");
-  return env != nullptr && std::strcmp(env, "1") == 0;
-}
+bool full_mode() { return support::repro_full(); }
 
 std::string emit_table(const std::string& experiment_id,
                        const std::string& heading,
                        const support::Table& table) {
   std::printf("%s\n%s", heading.c_str(), table.to_markdown().c_str());
-  const char* dir = std::getenv("REPRO_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return {};
-  const std::string path =
-      std::string(dir) + "/" + experiment_id + ".csv";
+  const std::string dir = support::repro_csv_dir();
+  if (dir.empty()) return {};
+  const std::string path = dir + "/" + experiment_id + ".csv";
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

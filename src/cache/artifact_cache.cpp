@@ -1,8 +1,8 @@
 #include "cache/artifact_cache.hpp"
 
-#include <cstdlib>
-#include <string_view>
+#include <algorithm>
 
+#include "support/env.hpp"
 #include "uxs/corpus.hpp"
 
 namespace rdv::cache {
@@ -23,21 +23,22 @@ std::uint64_t uxs_bytes(const uxs::Uxs& y) {
   return y.length() * sizeof(std::uint64_t) + y.provenance().size();
 }
 
-std::size_t env_size_t(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  return (end == raw || v == 0) ? fallback : static_cast<std::size_t>(v);
+std::uint64_t shrink_bytes(const views::ShrinkResult& r) {
+  return r.witness.size() * sizeof(graph::Port) + sizeof(views::ShrinkResult);
 }
 
 }  // namespace
 
 ArtifactCache::ArtifactCache(const CacheConfig& config)
     : config_(config),
-      view_classes_(config.shards, config.capacity_per_shard, config.enabled),
-      quotients_(config.shards, config.capacity_per_shard, config.enabled),
-      uxs_(config.shards, config.capacity_per_shard, config.enabled) {}
+      view_classes_(config.shards, config.capacity_per_shard, config.enabled,
+                    config.bytes_per_shard),
+      quotients_(config.shards, config.capacity_per_shard, config.enabled,
+                 config.bytes_per_shard),
+      uxs_(config.shards, config.capacity_per_shard, config.enabled,
+           config.bytes_per_shard),
+      shrink_(config.shards, config.capacity_per_shard, config.enabled,
+              config.bytes_per_shard) {}
 
 std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
     const graph::Graph& g) {
@@ -69,11 +70,26 @@ std::shared_ptr<const uxs::Uxs> ArtifactCache::uxs(std::uint32_t n) {
       n, [n] { return uxs::corpus_verified_uxs(n); }, uxs_bytes);
 }
 
+std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
+    const graph::Graph& g, graph::Node u, graph::Node v) {
+  return shrink(g, fingerprint(g), u, v);
+}
+
+std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
+    const graph::Graph& g, const GraphFingerprint& fp, graph::Node u,
+    graph::Node v) {
+  return shrink_.get_or_compute(
+      ShrinkKey{fp, u, v},
+      [&g, u, v] { return views::shrink_with_witness(g, u, v); },
+      shrink_bytes);
+}
+
 CacheStats ArtifactCache::stats() const {
   CacheStats stats;
   stats.view_classes = view_classes_.stats();
   stats.quotients = quotients_.stats();
   stats.uxs = uxs_.stats();
+  stats.shrink = shrink_.stats();
   return stats;
 }
 
@@ -81,18 +97,23 @@ void ArtifactCache::clear() {
   view_classes_.clear();
   quotients_.clear();
   uxs_.clear();
+  shrink_.clear();
 }
 
 ArtifactCache& global_cache() {
   static ArtifactCache* cache = [] {
     CacheConfig config;
-    config.shards = env_size_t("RDV_CACHE_SHARDS", config.shards);
-    config.capacity_per_shard =
-        env_size_t("RDV_CACHE_CAPACITY", config.capacity_per_shard);
-    // Any value except empty/"0" disables (so =1, =true, =yes all work).
-    const char* disable = std::getenv("RDV_CACHE_DISABLE");
-    config.enabled = disable == nullptr || std::string_view(disable).empty() ||
-                     std::string_view(disable) == "0";
+    config.shards = support::env_size_t("RDV_CACHE_SHARDS", config.shards);
+    config.capacity_per_shard = support::env_size_t(
+        "RDV_CACHE_CAPACITY", config.capacity_per_shard);
+    // RDV_CACHE_BYTES is the per-store budget; split it across shards
+    // (each shard gets at least 1 byte, i.e. "keep only the newest").
+    const std::size_t total_bytes = support::env_size_t("RDV_CACHE_BYTES", 0);
+    if (total_bytes != 0) {
+      config.bytes_per_shard =
+          std::max<std::uint64_t>(1, total_bytes / config.shards);
+    }
+    config.enabled = !support::env_flag("RDV_CACHE_DISABLE");
     return new ArtifactCache(config);  // intentionally leaked: process-global
   }();
   return *cache;
@@ -111,6 +132,12 @@ std::shared_ptr<const views::QuotientGraph> cached_quotient(
 std::shared_ptr<const uxs::Uxs> cached_uxs(std::uint32_t n,
                                            ArtifactCache* cache) {
   return (cache != nullptr ? *cache : global_cache()).uxs(n);
+}
+
+std::shared_ptr<const views::ShrinkResult> cached_shrink(
+    const graph::Graph& g, graph::Node u, graph::Node v,
+    ArtifactCache* cache) {
+  return (cache != nullptr ? *cache : global_cache()).shrink(g, u, v);
 }
 
 uxs::UxsProvider cached_uxs_provider(ArtifactCache* cache) {

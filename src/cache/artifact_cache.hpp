@@ -10,6 +10,7 @@
 #include "uxs/uxs.hpp"
 #include "views/quotient.hpp"
 #include "views/refinement.hpp"
+#include "views/shrink.hpp"
 
 /// Concurrent per-graph artifact cache (ISSUE 2 tentpole).
 ///
@@ -32,6 +33,11 @@ struct CacheConfig {
   /// over streams of distinct graphs stay bounded at
   /// shards * capacity_per_shard entries per artifact kind.
   std::size_t capacity_per_shard = 64;
+  /// Resident payload byte budget per shard per store (0 = unbounded).
+  /// Evicts LRU-first down to the budget, always keeping the most
+  /// recent entry, so residency is bounded by BYTES — not just entry
+  /// count — no matter how large individual artifacts are.
+  std::uint64_t bytes_per_shard = 0;
   /// When false, nothing is retained and every request recomputes —
   /// the reference configuration for determinism tests.
   bool enabled = true;
@@ -41,15 +47,36 @@ struct CacheStats {
   StoreStats view_classes;
   StoreStats quotients;
   StoreStats uxs;
+  StoreStats shrink;
 
   [[nodiscard]] std::uint64_t total_hits() const {
-    return view_classes.hits + quotients.hits + uxs.hits;
+    return view_classes.hits + quotients.hits + uxs.hits + shrink.hits;
   }
   [[nodiscard]] std::uint64_t total_misses() const {
-    return view_classes.misses + quotients.misses + uxs.misses;
+    return view_classes.misses + quotients.misses + uxs.misses +
+           shrink.misses;
   }
   [[nodiscard]] std::uint64_t total_bytes() const {
-    return view_classes.bytes + quotients.bytes + uxs.bytes;
+    return view_classes.bytes + quotients.bytes + uxs.bytes + shrink.bytes;
+  }
+};
+
+/// Key of the Shrink store: one pair-BFS result per (graph structure,
+/// ordered (u, v) start pair).
+struct ShrinkKey {
+  GraphFingerprint fp;
+  graph::Node u = 0;
+  graph::Node v = 0;
+
+  friend bool operator==(const ShrinkKey&, const ShrinkKey&) = default;
+};
+
+struct ShrinkKeyHash {
+  [[nodiscard]] std::size_t operator()(const ShrinkKey& k) const noexcept {
+    std::uint64_t h = FingerprintHash{}(k.fp);
+    h ^= (static_cast<std::uint64_t>(k.u) << 32 | k.v) *
+         0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 29));
   }
 };
 
@@ -81,6 +108,16 @@ class ArtifactCache {
   /// by n.
   [[nodiscard]] std::shared_ptr<const uxs::Uxs> uxs(std::uint32_t n);
 
+  /// Shrink pair-BFS result for (u, v) on g (views::shrink_with_witness,
+  /// O(n^2 * max_degree)), keyed by (fingerprint, u, v) so repeated
+  /// queries for the same pair — across experiment kernels and scales —
+  /// run the product BFS once.
+  [[nodiscard]] std::shared_ptr<const views::ShrinkResult> shrink(
+      const graph::Graph& g, graph::Node u, graph::Node v);
+  [[nodiscard]] std::shared_ptr<const views::ShrinkResult> shrink(
+      const graph::Graph& g, const GraphFingerprint& fp, graph::Node u,
+      graph::Node v);
+
   [[nodiscard]] CacheStats stats() const;
   void clear();
   [[nodiscard]] const CacheConfig& config() const noexcept {
@@ -94,11 +131,14 @@ class ArtifactCache {
   ShardedLruStore<GraphFingerprint, views::QuotientGraph, FingerprintHash>
       quotients_;
   ShardedLruStore<std::uint32_t, uxs::Uxs> uxs_;
+  ShardedLruStore<ShrinkKey, views::ShrinkResult, ShrinkKeyHash> shrink_;
 };
 
 /// Process-global cache used when no explicit cache is supplied.
 /// Knobs (read once, at first use): RDV_CACHE_SHARDS,
-/// RDV_CACHE_CAPACITY (entries per shard), RDV_CACHE_DISABLE=1.
+/// RDV_CACHE_CAPACITY (entries per shard), RDV_CACHE_BYTES (resident
+/// payload bytes per store, split across shards; 0/unset = unbounded),
+/// RDV_CACHE_DISABLE=1.
 [[nodiscard]] ArtifactCache& global_cache();
 
 /// Typed entry points: resolve through `cache`, or through
@@ -109,6 +149,9 @@ class ArtifactCache {
     const graph::Graph& g, ArtifactCache* cache = nullptr);
 [[nodiscard]] std::shared_ptr<const uxs::Uxs> cached_uxs(
     std::uint32_t n, ArtifactCache* cache = nullptr);
+[[nodiscard]] std::shared_ptr<const views::ShrinkResult> cached_shrink(
+    const graph::Graph& g, graph::Node u, graph::Node v,
+    ArtifactCache* cache = nullptr);
 
 /// uxs::UxsProvider resolving through `cache` (nullptr: the global
 /// cache) — the canonical provider for the algorithms in core/

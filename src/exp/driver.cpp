@@ -1,0 +1,281 @@
+#include "exp/driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios/scenarios.hpp"
+#include "support/env.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rdv::exp {
+namespace {
+
+constexpr const char* kUsage = R"(usage: rdv_bench [options] [id-or-filter ...]
+
+Runs registered experiments (positional arguments select by exact id
+first, then by substring over ids/titles/tags). With no arguments,
+lists the registry.
+
+options:
+  --list           list matching experiments and exit
+  --describe       print axes / output schema of matching experiments and exit
+  --all            select every registered experiment
+  --smoke          smoke scale (tiny axes; CI-sized)
+  --full           full scale (default comes from REPRO_FULL)
+  --threads N      run on a dedicated pool of N threads
+  --chunk N        chunk size for the experiments' inner sweeps
+  --csv-dir DIR    write <dir>/<id>.csv   (default: REPRO_CSV_DIR)
+  --json-dir DIR   write <dir>/<id>.json  (default: REPRO_JSON_DIR)
+  --json           also print each table as JSON to stdout
+  --check          fail (exit 1) if any experiment emits an empty table
+  --help           this text
+)";
+
+struct Args {
+  bool list = false;
+  bool describe = false;
+  bool all = false;
+  bool json_stdout = false;
+  bool check = false;
+  Scale scale = Scale::kQuick;
+  bool scale_forced = false;
+  std::size_t threads = 0;
+  std::size_t chunk = 0;
+  std::string csv_dir;
+  std::string json_dir;
+  std::vector<std::string> selectors;
+};
+
+bool parse_size_arg(int argc, const char* const* argv, int& i,
+                    std::size_t& out) {
+  if (i + 1 >= argc) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+  if (end == argv[i] || *end != '\0' || v == 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+int parse_args(int argc, const char* const* argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return -1;
+    } else if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--describe") {
+      args.describe = true;
+    } else if (arg == "--all") {
+      args.all = true;
+    } else if (arg == "--smoke") {
+      args.scale = Scale::kSmoke;
+      args.scale_forced = true;
+    } else if (arg == "--full") {
+      args.scale = Scale::kFull;
+      args.scale_forced = true;
+    } else if (arg == "--json") {
+      args.json_stdout = true;
+    } else if (arg == "--check") {
+      args.check = true;
+    } else if (arg == "--threads") {
+      if (!parse_size_arg(argc, argv, i, args.threads)) {
+        std::fprintf(stderr, "rdv_bench: --threads needs a positive count\n");
+        return 2;
+      }
+    } else if (arg == "--chunk") {
+      if (!parse_size_arg(argc, argv, i, args.chunk)) {
+        std::fprintf(stderr, "rdv_bench: --chunk needs a positive count\n");
+        return 2;
+      }
+    } else if (arg == "--csv-dir" || arg == "--json-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rdv_bench: %s needs a directory\n",
+                     std::string(arg).c_str());
+        return 2;
+      }
+      (arg == "--csv-dir" ? args.csv_dir : args.json_dir) = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rdv_bench: unknown option %s\n%s",
+                   std::string(arg).c_str(), kUsage);
+      return 2;
+    } else {
+      args.selectors.emplace_back(arg);
+    }
+  }
+  return 0;
+}
+
+/// Resolves selectors against the registry, preserving registry order
+/// and deduplicating. Returns false when a selector matched nothing.
+bool select(const Registry& registry, const Args& args,
+            std::vector<const Experiment*>& selected) {
+  if (args.all || args.selectors.empty()) {
+    for (const Experiment& e : registry.all()) selected.push_back(&e);
+    return true;
+  }
+  std::vector<bool> picked(registry.size(), false);
+  for (const std::string& selector : args.selectors) {
+    std::vector<const Experiment*> matched;
+    if (const Experiment* exact = registry.find(selector)) {
+      matched.push_back(exact);
+    } else {
+      matched = registry.match(selector);
+    }
+    if (matched.empty()) {
+      std::fprintf(stderr,
+                   "rdv_bench: no experiment matches '%s' (try --list)\n",
+                   selector.c_str());
+      return false;
+    }
+    for (const Experiment* e : matched) {
+      picked[static_cast<std::size_t>(e - registry.all().data())] = true;
+    }
+  }
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    if (picked[i]) selected.push_back(&registry.all()[i]);
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const char* separator) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += separator;
+    out += part;
+  }
+  return out;
+}
+
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kQuick: return "quick";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+void print_list(const std::vector<const Experiment*>& selected) {
+  support::Table table({"id", "tags", "summary"});
+  for (const Experiment* e : selected) {
+    table.add_row({e->id, join(e->tags, ","), e->summary});
+  }
+  std::printf("%zu experiments registered\n%s", selected.size(),
+              table.to_markdown().c_str());
+}
+
+void print_describe(const std::vector<const Experiment*>& selected) {
+  for (const Experiment* e : selected) {
+    std::printf("%s — %s\n", e->id.c_str(), e->title.c_str());
+    std::printf("  tags: %s\n", join(e->tags, ", ").c_str());
+    for (const std::string& axis : e->axes) {
+      std::printf("  axis: %s\n", axis.c_str());
+    }
+    std::printf("  columns: %s\n", join(e->headers, " | ").c_str());
+    if (e->nested_sweep) {
+      std::printf("  execution: serial cases, parallel inner sweeps\n");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int run_main(int argc, const char* const* argv) {
+  Args args;
+  const int parse = parse_args(argc, argv, args);
+  if (parse != 0) return parse < 0 ? 0 : parse;
+  if (!args.scale_forced && support::repro_full()) args.scale = Scale::kFull;
+
+  const Registry& registry = builtin_registry();
+  std::vector<const Experiment*> selected;
+  if (!select(registry, args, selected)) return 2;
+
+  if (args.describe) {
+    print_describe(selected);
+    return 0;
+  }
+  // Bare `rdv_bench` lists instead of running everything by surprise.
+  if (args.list || (args.selectors.empty() && !args.all)) {
+    print_list(selected);
+    return 0;
+  }
+
+  ExpContext ctx;
+  ctx.scale = args.scale;
+  if (args.chunk != 0) ctx.sweep.chunk_size = args.chunk;
+  std::unique_ptr<support::ThreadPool> pool;
+  if (args.threads != 0) {
+    pool = std::make_unique<support::ThreadPool>(args.threads);
+    ctx.sweep.pool = pool.get();
+  }
+
+  EmitOptions emit_options = emit_options_from_env();
+  if (!args.csv_dir.empty()) emit_options.csv_dir = args.csv_dir;
+  if (!args.json_dir.empty()) emit_options.json_dir = args.json_dir;
+  emit_options.json_stdout = args.json_stdout;
+
+  int failures = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const Experiment& e = *selected[i];
+    if (i != 0) std::printf("\n");
+    std::printf("== %s [%s] ==\n", e.id.c_str(), scale_name(ctx.scale));
+    try {
+      const ExpOutput output = run_experiment(e, ctx);
+      const std::vector<std::string> written =
+          emit(e, output, emit_options);
+      if (args.check && output.table.row_count() == 0) {
+        std::fprintf(stderr, "rdv_bench: %s produced an empty table\n",
+                     e.id.c_str());
+        ++failures;
+      }
+      const std::size_t files_expected =
+          (emit_options.csv_dir.empty() ? 0u : 1u) +
+          (emit_options.json_dir.empty() ? 0u : 1u);
+      if (args.check && written.size() != files_expected) {
+        std::fprintf(stderr,
+                     "rdv_bench: %s wrote %zu of %zu requested files\n",
+                     e.id.c_str(), written.size(), files_expected);
+        ++failures;
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "rdv_bench: %s failed: %s\n", e.id.c_str(),
+                   ex.what());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "rdv_bench: %d of %zu experiments failed\n",
+                 failures, selected.size());
+    return 1;
+  }
+  return 0;
+}
+
+int run_single(std::string_view id) {
+  const Registry& registry = builtin_registry();
+  const Experiment* e = registry.find(id);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown experiment id '%s'\n",
+                 std::string(id).c_str());
+    return 2;
+  }
+  ExpContext ctx;
+  ctx.scale = support::repro_full() ? Scale::kFull : Scale::kQuick;
+  try {
+    const ExpOutput output = run_experiment(*e, ctx);
+    emit(*e, output, emit_options_from_env());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s failed: %s\n", e->id.c_str(), ex.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace rdv::exp

@@ -1,0 +1,131 @@
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "support/env.hpp"
+
+namespace rdv::exp {
+
+ExpOutput run_experiment(const Experiment& experiment,
+                         const ExpContext& ctx) {
+  const std::vector<CaseFn> cases = experiment.cases(ctx);
+  ExpOutput output{support::Table(experiment.headers), {}, {}};
+  std::vector<std::vector<std::string>> rows;
+  if (experiment.nested_sweep) {
+    // The kernels sweep on the pool themselves; running them as pool
+    // tasks would block workers on nested waits. Serial outer loop,
+    // parallel inner sweeps — same rows either way.
+    rows.reserve(cases.size());
+    for (const CaseFn& kernel : cases) rows.push_back(kernel(ctx));
+    output.stats.items_total = cases.size();
+  } else {
+    // One case per chunk: cases are heavyweight (each renders a whole
+    // row of simulations/searches), so per-case scheduling is the right
+    // granularity no matter what chunk size the caller tuned for the
+    // kernels' own inner sweeps.
+    sweep::SweepConfig per_case = ctx.sweep;
+    per_case.chunk_size = 1;
+    rows = sweep::sweep_map<std::vector<std::string>>(
+        cases.size(),
+        [&](std::size_t i) { return cases[i](ctx); }, per_case, {},
+        &output.stats);
+  }
+  for (std::vector<std::string>& row : rows) {
+    if (!row.empty()) output.table.add_row(std::move(row));
+  }
+  // A case may decline to produce a row (empty return), so the produced
+  // count is the table's, not the sweep's.
+  output.stats.items_produced = output.table.row_count();
+  if (experiment.notes) output.notes = experiment.notes(ctx);
+  return output;
+}
+
+void Registry::add(Experiment experiment) {
+  if (experiment.id.empty()) {
+    throw std::invalid_argument("Registry::add: empty experiment id");
+  }
+  if (find(experiment.id) != nullptr) {
+    throw std::invalid_argument("Registry::add: duplicate experiment id " +
+                                experiment.id);
+  }
+  if (!experiment.cases) {
+    throw std::invalid_argument("Registry::add: experiment " +
+                                experiment.id + " has no case generator");
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::find(std::string_view id) const {
+  for (const Experiment& e : experiments_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::match(
+    std::string_view filter) const {
+  std::vector<const Experiment*> matched;
+  for (const Experiment& e : experiments_) {
+    bool hit = filter.empty() ||
+               e.id.find(filter) != std::string::npos ||
+               e.title.find(filter) != std::string::npos;
+    for (const std::string& tag : e.tags) {
+      if (hit) break;
+      hit = tag.find(filter) != std::string::npos;
+    }
+    if (hit) matched.push_back(&e);
+  }
+  return matched;
+}
+
+EmitOptions emit_options_from_env() {
+  EmitOptions options;
+  options.csv_dir = support::repro_csv_dir();
+  options.json_dir = support::repro_json_dir();
+  return options;
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> emit(const Experiment& experiment,
+                              const ExpOutput& output,
+                              const EmitOptions& options) {
+  if (options.markdown) {
+    std::printf("%s\n%s", experiment.title.c_str(),
+                output.table.to_markdown().c_str());
+    for (const std::string& note : output.notes) {
+      std::printf("\n%s\n", note.c_str());
+    }
+  }
+  if (options.json_stdout) {
+    std::printf("%s", output.table.to_json().c_str());
+  }
+  std::vector<std::string> written;
+  if (!options.csv_dir.empty()) {
+    const std::string path =
+        options.csv_dir + "/" + experiment.id + ".csv";
+    if (write_file(path, output.table.to_csv())) written.push_back(path);
+  }
+  if (!options.json_dir.empty()) {
+    const std::string path =
+        options.json_dir + "/" + experiment.id + ".json";
+    if (write_file(path, output.table.to_json())) written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace rdv::exp

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/table.hpp"
+#include "sweep/sweep.hpp"
+
+/// The experiment registry (ISSUE 3 tentpole).
+///
+/// Every experiment table/figure of the reproduction is one declarative
+/// Experiment record: an id, its parameter axes, an output schema (the
+/// table headers), and a kernel that renders one case into one row.
+/// The registry runner executes every case through sweep::sweep_map on
+/// the shared pool + artifact cache, merges rows in case order (the
+/// sweep substrate's byte-identical-at-any-thread-count contract), and
+/// emits the result uniformly as markdown / CSV / JSON. One driver
+/// binary (`rdv_bench`) lists, filters, and runs everything registered.
+namespace rdv::exp {
+
+/// How big the parameter axes are instantiated.
+enum class Scale {
+  /// Tiny: a strict subset of kQuick sized for CI smoke jobs and the
+  /// exp_test determinism matrix (seconds for the whole registry).
+  kSmoke,
+  /// The default bench run (the old no-REPRO_FULL behavior).
+  kQuick,
+  /// The paper-scale sweep (the old REPRO_FULL=1 behavior).
+  kFull,
+};
+
+/// Everything a case kernel may depend on besides its own parameters.
+/// The sweep config carries the pool, the artifact cache, and the
+/// chunking; kernels resolve shared artifacts through `cache()` so a
+/// disabled cache degrades to recomputation without changing output.
+struct ExpContext {
+  Scale scale = Scale::kQuick;
+  sweep::SweepConfig sweep;
+
+  [[nodiscard]] bool full() const noexcept { return scale == Scale::kFull; }
+  [[nodiscard]] bool smoke() const noexcept {
+    return scale == Scale::kSmoke;
+  }
+  /// Cache to resolve artifacts through; nullptr means the global one
+  /// (the cached_* entry points accept exactly this).
+  [[nodiscard]] cache::ArtifactCache* cache() const noexcept {
+    return sweep.cache;
+  }
+};
+
+/// Computes one table row. Must be thread-safe: unless the experiment
+/// sets `nested_sweep`, cases execute concurrently on pool workers. An
+/// empty return means "no row" (the case is skipped in the table).
+using CaseFn = std::function<std::vector<std::string>(const ExpContext&)>;
+
+/// Declarative description of one experiment.
+struct Experiment {
+  /// Stable id ("t5_universal_time") — the CSV/JSON file stem and the
+  /// driver's run argument.
+  std::string id;
+  /// Heading printed above the table.
+  std::string title;
+  /// One-liner for `rdv_bench --list`.
+  std::string summary;
+  /// Human-readable parameter axes for `--describe` (what varies per
+  /// row, and how the scales differ).
+  std::vector<std::string> axes;
+  /// Output schema: the table headers every case row must match.
+  std::vector<std::string> headers;
+  /// Filter tags ("table", "figure", "ablation", "lower-bound", ...).
+  std::vector<std::string> tags;
+  /// Instantiates the case list for the context's scale. Runs serially;
+  /// put per-case work in the returned kernels, not here.
+  std::function<std::vector<CaseFn>(const ExpContext&)> cases;
+  /// Optional note lines printed after the table (the old trailing
+  /// printf commentary).
+  std::function<std::vector<std::string>(const ExpContext&)> notes;
+  /// True when the kernels themselves run sweeps on the pool
+  /// (run_stic_sweep / feasibility_sweep): the runner then executes
+  /// cases serially in index order — nesting a blocking sweep wait
+  /// inside a pool task could deadlock the pool — and the inner sweeps
+  /// provide the parallelism.
+  bool nested_sweep = false;
+};
+
+struct ExpOutput {
+  support::Table table;
+  std::vector<std::string> notes;
+  sweep::SweepStats stats;
+};
+
+/// Instantiates the experiment's cases and executes them on the sweep
+/// substrate (sweep_map, one case per chunk), merging rows in case
+/// order. Output is byte-identical for any pool size and any cache
+/// configuration (tests/exp_test.cpp pins this for every registered
+/// experiment).
+[[nodiscard]] ExpOutput run_experiment(const Experiment& experiment,
+                                       const ExpContext& ctx);
+
+/// Ordered collection of experiments; ids are unique.
+class Registry {
+ public:
+  /// Registers; throws std::invalid_argument on a duplicate id.
+  void add(Experiment experiment);
+
+  [[nodiscard]] const Experiment* find(std::string_view id) const;
+
+  /// Experiments whose id, title, or any tag contains `filter`
+  /// (case-sensitive substring); empty filter matches everything.
+  [[nodiscard]] std::vector<const Experiment*> match(
+      std::string_view filter) const;
+
+  [[nodiscard]] const std::vector<Experiment>& all() const noexcept {
+    return experiments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return experiments_.size();
+  }
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Where run results go. Markdown (heading + table + notes) prints to
+/// stdout; CSV/JSON files are written per experiment when the
+/// directories are nonempty.
+struct EmitOptions {
+  bool markdown = true;
+  /// Also print the JSON rendering to stdout (after the table).
+  bool json_stdout = false;
+  std::string csv_dir;
+  std::string json_dir;
+};
+
+/// csv_dir/json_dir from REPRO_CSV_DIR / REPRO_JSON_DIR.
+[[nodiscard]] EmitOptions emit_options_from_env();
+
+/// Emits one experiment's output; returns the file paths written.
+std::vector<std::string> emit(const Experiment& experiment,
+                              const ExpOutput& output,
+                              const EmitOptions& options);
+
+}  // namespace rdv::exp

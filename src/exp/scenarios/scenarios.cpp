@@ -1,0 +1,33 @@
+#include "exp/scenarios/scenarios.hpp"
+
+namespace rdv::exp::scenarios {
+
+void register_builtin(Registry& registry) {
+  register_t1(registry);
+  register_t2(registry);
+  register_t3(registry);
+  register_t4(registry);
+  register_t5(registry);
+  register_t6(registry);
+  register_t7(registry);
+  register_t8(registry);
+  register_t9(registry);
+  register_t10(registry);
+  register_t11(registry);
+  register_fig1(registry);
+}
+
+}  // namespace rdv::exp::scenarios
+
+namespace rdv::exp {
+
+Registry& builtin_registry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();  // intentionally leaked: process-global
+    scenarios::register_builtin(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace rdv::exp

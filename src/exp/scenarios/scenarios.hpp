@@ -1,0 +1,34 @@
+#pragma once
+
+#include "exp/experiment.hpp"
+
+/// Built-in experiment scenarios: every table/figure of the paper's
+/// evidence battery as one declarative registration (one .cpp each).
+/// Registration is explicit — no static-initializer tricks that a
+/// static library would drop — and ordered t1..t11, fig1.
+namespace rdv::exp::scenarios {
+
+void register_t1(Registry& registry);
+void register_t2(Registry& registry);
+void register_t3(Registry& registry);
+void register_t4(Registry& registry);
+void register_t5(Registry& registry);
+void register_t6(Registry& registry);
+void register_t7(Registry& registry);
+void register_t8(Registry& registry);
+void register_t9(Registry& registry);
+void register_t10(Registry& registry);
+void register_t11(Registry& registry);
+void register_fig1(Registry& registry);
+
+/// All of the above, in table order.
+void register_builtin(Registry& registry);
+
+}  // namespace rdv::exp::scenarios
+
+namespace rdv::exp {
+
+/// Process-wide registry preloaded with the built-in scenarios.
+[[nodiscard]] Registry& builtin_registry();
+
+}  // namespace rdv::exp

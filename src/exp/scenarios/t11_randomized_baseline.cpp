@@ -1,0 +1,115 @@
+// T11 — the randomized baseline from the paper's conclusion:
+// "the synchronous randomized counterpart ... is straightforward ...
+// two random walks meet with high probability in time polynomial in
+// the size of the graph." Independent lazy random walks are run on
+// STICs that are deterministically FEASIBLE and, crucially, on
+// symmetric simultaneous-start STICs that are deterministically
+// IMPOSSIBLE (Lemma 3.1) — randomness breaks the symmetry that time
+// alone cannot. Each STIC (with its fixed-seed run batch) is one case;
+// symmetry/Shrink resolve through the artifact cache.
+#include <algorithm>
+#include <memory>
+
+#include "cache/artifact_cache.hpp"
+#include "core/random_walk.hpp"
+#include "exp/scenarios/scenarios.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "views/refinement.hpp"
+
+namespace rdv::exp::scenarios {
+namespace {
+
+namespace families = rdv::graph::families;
+using graph::Graph;
+using graph::Node;
+
+struct Case {
+  Graph g;
+  Node u, v;
+  std::uint64_t delay;
+};
+
+}  // namespace
+
+void register_t11(Registry& registry) {
+  Experiment e;
+  e.id = "t11_randomized_baseline";
+  e.title = "T11 (Conclusion remark): independent lazy random walks";
+  e.summary =
+      "lazy random walks meet in polynomial time, even on STICs that "
+      "are impossible for every deterministic algorithm";
+  e.axes = {"STIC: rings, tori, double trees, hypercubes (fixed seeds "
+            "per run index)",
+            "runs per STIC: smoke 5, quick 20, full 50",
+            "smoke: 2 STICs; quick: 5; full: +ring(32) +torus(5,5) "
+            "+random_connected(24,12,5)"};
+  e.headers = {"graph",    "n",           "STIC",      "deterministic",
+               "runs met", "mean rounds", "max rounds"};
+  e.tags = {"table", "randomized", "baseline"};
+  e.cases = [](const ExpContext& ctx) {
+    auto cases = std::make_shared<std::vector<Case>>();
+    cases->push_back({families::oriented_ring(8), 0, 4, 0});
+    if (!ctx.smoke()) {
+      cases->push_back({families::oriented_ring(16), 0, 8, 0});
+    }
+    cases->push_back({families::oriented_torus(3, 3), 0, 4, 0});
+    if (!ctx.smoke()) {
+      cases->push_back({families::symmetric_double_tree(2, 2), 6, 13, 0});
+      cases->push_back({families::hypercube(3), 0, 7, 2});
+    }
+    if (ctx.full()) {
+      cases->push_back({families::oriented_ring(32), 0, 16, 0});
+      cases->push_back({families::oriented_torus(5, 5), 0, 12, 0});
+      cases->push_back({families::random_connected(24, 12, 5), 0, 12, 0});
+    }
+    const int runs = ctx.smoke() ? 5 : (ctx.full() ? 50 : 20);
+    std::vector<CaseFn> fns;
+    fns.reserve(cases->size());
+    for (std::size_t i = 0; i < cases->size(); ++i) {
+      fns.push_back([cases, i, runs](const ExpContext& run_ctx) {
+        const Case& c = (*cases)[i];
+        const bool sym = cache::cached_view_classes(c.g, run_ctx.cache())
+                             ->symmetric(c.u, c.v);
+        const std::uint32_t s =
+            cache::cached_shrink(c.g, c.u, c.v, run_ctx.cache())->shrink;
+        const bool feasible = !sym || c.delay >= s;
+        int met = 0;
+        std::uint64_t total = 0;
+        std::uint64_t worst = 0;
+        for (int run = 0; run < runs; ++run) {
+          sim::RunConfig config;
+          config.max_rounds = 1u << 22;
+          const auto r = sim::run_pair(
+              c.g, core::lazy_random_walk_program(1000 + 2 * run),
+              core::lazy_random_walk_program(2000 + 2 * run + 1), c.u,
+              c.v, c.delay, config);
+          if (r.met) {
+            ++met;
+            total += r.meet_from_later_start;
+            worst = std::max(worst, r.meet_from_later_start);
+          }
+        }
+        return std::vector<std::string>{
+            c.g.name(), std::to_string(c.g.size()),
+            "[(" + std::to_string(c.u) + "," + std::to_string(c.v) +
+                ")," + std::to_string(c.delay) + "]",
+            feasible ? "feasible" : "IMPOSSIBLE (Lemma 3.1)",
+            std::to_string(met) + "/" + std::to_string(runs),
+            met ? support::format_double(
+                      static_cast<double>(total) / met, 1)
+                : "-",
+            met ? std::to_string(worst) : "-"};
+      });
+    }
+    return fns;
+  };
+  e.notes = [](const ExpContext&) {
+    return std::vector<std::string>{
+        "Randomized agents meet in polynomial time even on STICs that "
+        "are impossible for every deterministic algorithm."};
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace rdv::exp::scenarios

@@ -1,0 +1,103 @@
+// T7 — Lemma 3.1: symmetric STICs with delta < Shrink(u, v) are
+// infeasible. The optimal-oblivious search exhausts the entire joint
+// configuration space (for symmetric starts this covers ALL
+// deterministic algorithms) and certifies that no algorithm meets;
+// UniversalRV runs confirm by never meeting within large caps.
+// Each (graph, delta) cell is one case; Shrink resolves once per pair
+// through the cache at case-generation time.
+#include <memory>
+
+#include "analysis/optimal_search.hpp"
+#include "cache/artifact_cache.hpp"
+#include "core/universal_rv.hpp"
+#include "exp/scenarios/scenarios.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+
+namespace rdv::exp::scenarios {
+namespace {
+
+namespace families = rdv::graph::families;
+using graph::Graph;
+using graph::Node;
+
+struct Case {
+  Graph g;
+  Node u, v;
+};
+
+}  // namespace
+
+void register_t7(Registry& registry) {
+  Experiment e;
+  e.id = "t7_infeasible_stics";
+  e.title =
+      "T7 (Lemma 3.1): delta < Shrink is infeasible — exhaustive "
+      "certificates";
+  e.summary =
+      "exhaustive optimal-search certificates that delta < Shrink "
+      "admits no deterministic rendezvous";
+  e.axes = {"(graph, symmetric pair) x delta in 0..Shrink-1",
+            "smoke: 2 graphs; quick: 4; full: +torus(3,3) +hypercube(3)"};
+  e.headers = {"graph", "pair",  "Shrink",
+               "delta", "exhaustive search", "states",
+               "UniversalRV met?"};
+  e.tags = {"table", "feasibility", "lower-bound"};
+  e.cases = [](const ExpContext& ctx) {
+    auto cases = std::make_shared<std::vector<Case>>();
+    cases->push_back({families::two_node_graph(), 0, 1});
+    if (!ctx.smoke()) {
+      cases->push_back({families::oriented_ring(6), 0, 3});
+    }
+    cases->push_back({families::oriented_ring(5), 0, 2});
+    if (!ctx.smoke()) {
+      Graph g = families::symmetric_double_tree(2, 1);
+      const Node m = families::double_tree_mirror(g, 1);
+      cases->push_back({std::move(g), 1, m});
+    }
+    if (ctx.full()) {
+      cases->push_back({families::oriented_torus(3, 3), 0, 4});
+      cases->push_back({families::hypercube(3), 0, 7});
+    }
+    std::vector<CaseFn> fns;
+    for (std::size_t i = 0; i < cases->size(); ++i) {
+      const Case& c = (*cases)[i];
+      const std::uint32_t s =
+          cache::cached_shrink(c.g, c.u, c.v, ctx.cache())->shrink;
+      for (std::uint64_t delta = 0; delta < s; ++delta) {
+        fns.push_back([cases, i, s, delta](const ExpContext&) {
+          const Case& c = (*cases)[i];
+          analysis::OptimalSearchConfig search_config;
+          search_config.horizon = 1u << 16;
+          const auto opt = analysis::optimal_oblivious(c.g, c.u, c.v,
+                                                       delta, search_config);
+          const char* verdict =
+              opt.outcome == analysis::OptimalOutcome::kProvenInfeasible
+                  ? "proven infeasible"
+                  : (opt.outcome == analysis::OptimalOutcome::kMet
+                         ? "MET (bug!)"
+                         : "horizon");
+          core::UniversalOptions options;
+          options.max_phases = 40;
+          sim::RunConfig config;
+          config.max_rounds = 1u << 21;
+          const auto run = sim::run_anonymous(
+              c.g, core::universal_rv_program(options), c.u, c.v, delta,
+              config);
+          return std::vector<std::string>{
+              c.g.name(),
+              std::to_string(c.u) + "," + std::to_string(c.v),
+              std::to_string(s),
+              std::to_string(delta),
+              verdict,
+              std::to_string(opt.states_explored),
+              run.met ? "MET (bug!)" : "no"};
+        });
+      }
+    }
+    return fns;
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace rdv::exp::scenarios

@@ -1,0 +1,126 @@
+// T9 — ablation: signature labels vs oracle labels in AsymmRV.
+// The substitute AsymmRV derives labels from UXS observation traces
+// (DESIGN.md §2.2); this table checks, per graph, that signature
+// equality coincides exactly with the view-class oracle, and compares
+// meeting times under signature labels vs exact-oracle labels. Each
+// graph is one case; the UXS and view partition resolve through the
+// artifact cache.
+#include <memory>
+
+#include "cache/artifact_cache.hpp"
+#include "core/asymm_rv.hpp"
+#include "core/bounds.hpp"
+#include "core/signature.hpp"
+#include "exp/scenarios/scenarios.hpp"
+#include "graph/families/families.hpp"
+#include "sim/engine.hpp"
+#include "support/saturating.hpp"
+#include "views/refinement.hpp"
+
+namespace rdv::exp::scenarios {
+namespace {
+
+namespace families = rdv::graph::families;
+using graph::Graph;
+using graph::Node;
+
+std::vector<std::string> graph_row(const Graph& g, const ExpContext& ctx) {
+  const auto y_handle = cache::cached_uxs(g.size(), ctx.cache());
+  const uxs::Uxs& y = *y_handle;
+  const auto classes = cache::cached_view_classes(g, ctx.cache());
+
+  // Agreement: signature equality == symmetry, over all pairs.
+  std::size_t pairs = 0;
+  std::size_t agreements = 0;
+  for (Node u = 0; u < g.size(); ++u) {
+    for (Node v = u + 1; v < g.size(); ++v) {
+      ++pairs;
+      const bool sig_equal =
+          core::signature_offline(g, u, g.size(), y) ==
+          core::signature_offline(g, v, g.size(), y);
+      if (sig_equal == classes->symmetric(u, v)) ++agreements;
+    }
+  }
+
+  // Meeting times on one nonsymmetric pair under both label modes.
+  Node u = 0, v = 0;
+  for (Node a = 0; a < g.size() && u == v; ++a) {
+    for (Node b = a + 1; b < g.size(); ++b) {
+      if (!classes->symmetric(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  const std::uint64_t delay = 1;
+  const std::uint64_t bound =
+      core::asymm_rv_time_bound(g.size(), delay, y.length());
+  sim::RunConfig config;
+  config.max_rounds =
+      support::sat_add(support::sat_mul(2, bound), delay);
+  const auto sig_run = sim::run_anonymous(
+      g, core::asymm_rv_program(g.size(), y, bound), u, v, delay, config);
+  // Oracle labels: the class id in unary-ish binary, distinct per
+  // class.
+  auto label_for = [&](Node w) {
+    std::vector<bool> bits;
+    const std::uint32_t c = classes->class_of[w];
+    for (int b = 7; b >= 0; --b) bits.push_back(((c >> b) & 1u) != 0);
+    return bits;
+  };
+  const auto oracle_run = sim::run_pair(
+      g, core::asymm_rv_program(g.size(), y, bound, label_for(u)),
+      core::asymm_rv_program(g.size(), y, bound, label_for(v)), u, v,
+      delay, config);
+
+  return {g.name(), std::to_string(pairs),
+          std::to_string(agreements) + "/" + std::to_string(pairs),
+          sig_run.met
+              ? support::format_rounds(sig_run.meet_from_later_start)
+              : "no-meet",
+          oracle_run.met
+              ? support::format_rounds(oracle_run.meet_from_later_start)
+              : "no-meet"};
+}
+
+}  // namespace
+
+void register_t9(Registry& registry) {
+  Experiment e;
+  e.id = "t9_label_ablation";
+  e.title = "T9 (ablation): signature labels vs view-class oracle labels";
+  e.summary =
+      "per-graph check that UXS signature equality matches the "
+      "view-class oracle, plus meeting times under both label modes";
+  e.axes = {"graph: paths, scrambled rings, complete, random connected",
+            "smoke: 2 graphs; quick: 4; full: +random_connected(10,6,8)"};
+  e.headers = {"graph", "pairs", "label==oracle agree",
+               "signature-label rounds", "oracle-label rounds"};
+  e.tags = {"table", "ablation", "asymm-rv"};
+  e.cases = [](const ExpContext& ctx) {
+    auto graphs = std::make_shared<std::vector<Graph>>();
+    graphs->push_back(families::path_graph(5));
+    if (!ctx.smoke()) {
+      graphs->push_back(families::scrambled_ring(6, 19));
+    }
+    graphs->push_back(families::complete(4));
+    if (!ctx.smoke()) {
+      graphs->push_back(families::random_connected(7, 3, 6));
+    }
+    if (ctx.full()) {
+      graphs->push_back(families::random_connected(10, 6, 8));
+    }
+    std::vector<CaseFn> fns;
+    fns.reserve(graphs->size());
+    for (std::size_t i = 0; i < graphs->size(); ++i) {
+      fns.push_back([graphs, i](const ExpContext& run_ctx) {
+        return graph_row((*graphs)[i], run_ctx);
+      });
+    }
+    return fns;
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace rdv::exp::scenarios

@@ -1,0 +1,33 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace rdv::support {
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && !std::string_view(raw).empty() &&
+         std::string_view(raw) != "0";
+}
+
+std::string env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? std::string() : std::string(raw);
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return (end == raw || v == 0) ? fallback : static_cast<std::size_t>(v);
+}
+
+bool repro_full() { return env_string("REPRO_FULL") == "1"; }
+
+std::string repro_csv_dir() { return env_string("REPRO_CSV_DIR"); }
+
+std::string repro_json_dir() { return env_string("REPRO_JSON_DIR"); }
+
+}  // namespace rdv::support

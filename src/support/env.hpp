@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// One place for every environment knob the binaries honor: the REPRO_*
+/// reproduction controls shared by all experiments and the RDV_* tuning
+/// knobs. Centralizing the parsing keeps the semantics identical across
+/// layers (e.g. "any value except empty/0 enables a flag").
+namespace rdv::support {
+
+/// True when `name` is set to anything except "" or "0".
+[[nodiscard]] bool env_flag(const char* name);
+
+/// The variable's value, or "" when unset.
+[[nodiscard]] std::string env_string(const char* name);
+
+/// Parses an unsigned decimal; unset, empty, unparsable, or zero values
+/// yield `fallback` (zero is reserved for "use the default"/"unlimited"
+/// semantics at each call site).
+[[nodiscard]] std::size_t env_size_t(const char* name,
+                                     std::size_t fallback);
+
+/// REPRO_FULL=1 — experiments run their larger sweeps. Strictly "1"
+/// (the long-documented contract), so REPRO_FULL=false stays a no-op.
+[[nodiscard]] bool repro_full();
+
+/// REPRO_CSV_DIR — when nonempty, experiments also write
+/// `<dir>/<experiment_id>.csv`.
+[[nodiscard]] std::string repro_csv_dir();
+
+/// REPRO_JSON_DIR — when nonempty, experiments also write
+/// `<dir>/<experiment_id>.json`.
+[[nodiscard]] std::string repro_json_dir();
+
+}  // namespace rdv::support

@@ -66,6 +66,56 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_row(std::string& out, const std::vector<std::string>& cells) {
+  out += '[';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out += ", ";
+    append_json_string(out, cells[c]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::string out = "{\"headers\": ";
+  append_json_row(out, headers_);
+  out += ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r != 0) out += ',';
+    out += "\n  ";
+    append_json_row(out, rows_[r]);
+  }
+  if (!rows_.empty()) out += '\n';
+  out += "]}\n";
+  return out;
+}
+
 std::string format_rounds(std::uint64_t rounds) {
   if (rounds == kRoundInfinity) return "inf";
   return std::to_string(rounds);

@@ -22,6 +22,10 @@ class Table {
   /// RFC-4180-ish CSV (no quoting of commas; callers keep cells simple).
   [[nodiscard]] std::string to_csv() const;
 
+  /// {"headers": [...], "rows": [[...], ...]} with full string escaping
+  /// — the machine-readable rendering for trend tracking.
+  [[nodiscard]] std::string to_json() const;
+
   [[nodiscard]] std::size_t row_count() const noexcept {
     return rows_.size();
   }

@@ -16,6 +16,7 @@
 #include "sweep/sweep.hpp"
 #include "uxs/corpus.hpp"
 #include "views/refinement.hpp"
+#include "views/shrink.hpp"
 
 namespace rdv::cache {
 namespace {
@@ -167,6 +168,85 @@ TEST(ArtifactCache, EvictionUnderCapacityBound) {
   EXPECT_EQ(stats.view_classes.misses, 4u);
   EXPECT_EQ(stats.view_classes.hits, 0u);
   EXPECT_LE(stats.view_classes.entries, 2u);
+}
+
+TEST(ArtifactCache, ByteBudgetBoundsResidency) {
+  CacheConfig config;
+  config.shards = 1;  // deterministic eviction order
+  config.capacity_per_shard = 64;  // entry count never binds here
+  config.bytes_per_shard = 1;      // any second entry exceeds the budget
+  ArtifactCache cache(config);
+  const graph::Graph g1 = families::oriented_ring(5);
+  const graph::Graph g2 = families::path_graph(5);
+
+  (void)cache.view_classes(g1);
+  CacheStats stats = cache.stats();
+  // One oversized artifact is retained anyway (never evict down to
+  // nothing), so residency is exactly one entry...
+  EXPECT_EQ(stats.view_classes.entries, 1u);
+  EXPECT_GT(stats.view_classes.bytes, config.bytes_per_shard);
+  EXPECT_EQ(stats.view_classes.evictions, 0u);
+
+  // ...and inserting another evicts the LRU one, never both.
+  (void)cache.view_classes(g2);
+  stats = cache.stats();
+  EXPECT_EQ(stats.view_classes.entries, 1u);
+  EXPECT_EQ(stats.view_classes.evictions, 1u);
+
+  // The survivor is g2: re-requesting it hits, g1 misses again.
+  (void)cache.view_classes(g2);
+  EXPECT_EQ(cache.stats().view_classes.hits, 1u);
+  (void)cache.view_classes(g1);
+  EXPECT_EQ(cache.stats().view_classes.misses, 3u);
+}
+
+TEST(ArtifactCache, ByteBudgetKeepsEntriesThatFit) {
+  CacheConfig config;
+  config.shards = 1;
+  config.capacity_per_shard = 64;
+  config.bytes_per_shard = 1u << 20;  // roomy: nothing should evict
+  ArtifactCache cache(config);
+  for (std::uint32_t n = 4; n < 8; ++n) {
+    (void)cache.view_classes(families::oriented_ring(n));
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.view_classes.entries, 4u);
+  EXPECT_EQ(stats.view_classes.evictions, 0u);
+  EXPECT_LE(stats.view_classes.bytes, config.bytes_per_shard);
+}
+
+TEST(ArtifactCache, ShrinkComputedOncePerPairAndMatchesDirect) {
+  ArtifactCache cache;
+  const graph::Graph g = families::oriented_ring(6);
+  const auto first = cache.shrink(g, 0, 3);
+  const auto again = cache.shrink(g, 0, 3);
+  EXPECT_EQ(first.get(), again.get());
+  const views::ShrinkResult direct = views::shrink_with_witness(g, 0, 3);
+  EXPECT_EQ(first->shrink, direct.shrink);
+  EXPECT_EQ(first->witness, direct.witness);
+  EXPECT_EQ(first->closest_u, direct.closest_u);
+  EXPECT_EQ(first->closest_v, direct.closest_v);
+
+  // Distinct pairs (and distinct graphs) are distinct keys.
+  const auto other_pair = cache.shrink(g, 0, 2);
+  EXPECT_NE(other_pair.get(), first.get());
+  const graph::Graph h = families::oriented_ring(8);
+  const auto other_graph = cache.shrink(h, 0, 3);
+  EXPECT_NE(other_graph.get(), first.get());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.shrink.misses, 3u);
+  EXPECT_EQ(stats.shrink.hits, 1u);
+  EXPECT_GT(stats.shrink.bytes, 0u);
+}
+
+TEST(CachedEntryPoints, CachedShrinkResolvesThroughExplicitCache) {
+  ArtifactCache cache;
+  const graph::Graph g = families::oriented_torus(3, 3);
+  const auto via_helper = cached_shrink(g, 0, 4, &cache);
+  EXPECT_EQ(via_helper->shrink, views::shrink(g, 0, 4));
+  EXPECT_EQ(cache.stats().shrink.misses, 1u);
+  EXPECT_EQ(cached_shrink(g, 0, 4, &cache).get(), via_helper.get());
 }
 
 TEST(ArtifactCache, LruKeepsRecentlyUsedEntries) {

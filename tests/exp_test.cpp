@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "exp/scenarios/scenarios.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rdv::exp {
+namespace {
+
+/// Full rendered output of one run: every emission format plus notes,
+/// so a difference anywhere (cells, schema, commentary) is caught.
+std::string render(const Experiment& e, const ExpContext& ctx) {
+  const ExpOutput output = run_experiment(e, ctx);
+  std::string out = output.table.to_markdown() + output.table.to_csv() +
+                    output.table.to_json();
+  for (const std::string& note : output.notes) out += note + "\n";
+  return out;
+}
+
+TEST(Registry, BuiltinRegistersEveryPaperExperiment) {
+  const Registry& registry = builtin_registry();
+  EXPECT_GE(registry.size(), 12u);
+  const char* ids[] = {
+      "t1_shrink_families",     "t2_feasibility_characterization",
+      "t3_symm_rv_time",        "t4_asymm_rv_time",
+      "t5_universal_time",      "t6_lower_bound_qhat",
+      "t7_infeasible_stics",    "t8_uxs_ablation",
+      "t9_label_ablation",      "t10_optimal_crossover",
+      "t11_randomized_baseline", "f1_qhat_construction"};
+  for (const char* id : ids) {
+    const Experiment* e = registry.find(id);
+    ASSERT_NE(e, nullptr) << id;
+    EXPECT_EQ(e->id, id);
+    EXPECT_FALSE(e->title.empty()) << id;
+    EXPECT_FALSE(e->headers.empty()) << id;
+    EXPECT_FALSE(e->axes.empty()) << id;
+    EXPECT_FALSE(e->tags.empty()) << id;
+  }
+}
+
+TEST(Registry, MatchFiltersByIdTitleAndTag) {
+  const Registry& registry = builtin_registry();
+  EXPECT_EQ(registry.match("").size(), registry.size());
+  // Tag filter: both Q-hat experiments carry the "qhat" tag.
+  const auto qhat = registry.match("qhat");
+  EXPECT_GE(qhat.size(), 2u);
+  // Id filter is a substring match.
+  const auto t1 = registry.match("t11_");
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_EQ(t1[0]->id, "t11_randomized_baseline");
+  EXPECT_TRUE(registry.match("no-such-experiment").empty());
+}
+
+TEST(Registry, RejectsDuplicateAndMalformedRegistrations) {
+  Registry registry;
+  Experiment e;
+  e.id = "dup";
+  e.headers = {"x"};
+  e.cases = [](const ExpContext&) { return std::vector<CaseFn>{}; };
+  registry.add(e);
+  EXPECT_THROW(registry.add(e), std::invalid_argument);
+  Experiment no_id = e;
+  no_id.id.clear();
+  EXPECT_THROW(registry.add(no_id), std::invalid_argument);
+  Experiment no_cases;
+  no_cases.id = "no-cases";
+  no_cases.headers = {"x"};
+  EXPECT_THROW(registry.add(no_cases), std::invalid_argument);
+}
+
+TEST(RunExperiment, MergesRowsInCaseOrderAndSkipsEmpty) {
+  Experiment e;
+  e.id = "synthetic";
+  e.headers = {"i"};
+  e.cases = [](const ExpContext&) {
+    std::vector<CaseFn> fns;
+    for (std::size_t i = 0; i < 64; ++i) {
+      fns.push_back([i](const ExpContext&) {
+        // Every third case produces no row.
+        if (i % 3 == 2) return std::vector<std::string>{};
+        return std::vector<std::string>{std::to_string(i)};
+      });
+    }
+    return fns;
+  };
+  support::ThreadPool pool(4);
+  ExpContext ctx;
+  ctx.sweep.pool = &pool;
+  const ExpOutput output = run_experiment(e, ctx);
+  EXPECT_EQ(output.stats.items_total, 64u);
+  ASSERT_EQ(output.table.row_count(), 64u - 64u / 3);
+  // Declined (empty) rows are not "produced".
+  EXPECT_EQ(output.stats.items_produced, output.table.row_count());
+  // Rows come out in case order although cases ran on 4 threads.
+  std::string expected;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (i % 3 != 2) expected += std::to_string(i) + "\n";
+  }
+  std::string csv = output.table.to_csv();
+  EXPECT_EQ(csv, "i\n" + expected);
+}
+
+/// The acceptance bar for the registry port: every registered
+/// experiment's rendered output is byte-identical at 1 vs N threads and
+/// with the artifact cache enabled, disabled, and eviction-thrashed —
+/// the same contract cache_test.cpp pins for raw sweeps.
+TEST(ExpDeterminism, ByteIdenticalAcrossThreadsAndCacheConfigs) {
+  cache::CacheConfig off;
+  off.enabled = false;
+  cache::CacheConfig tiny;  // force evictions mid-experiment
+  tiny.shards = 1;
+  tiny.capacity_per_shard = 1;
+  for (const Experiment& e : builtin_registry().all()) {
+    SCOPED_TRACE(e.id);
+    std::vector<std::string> outputs;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const cache::CacheConfig& config :
+           {cache::CacheConfig{}, off, tiny}) {
+        cache::ArtifactCache cache(config);
+        support::ThreadPool pool(threads);
+        ExpContext ctx;
+        ctx.scale = Scale::kSmoke;
+        ctx.sweep.pool = &pool;
+        ctx.sweep.cache = &cache;
+        outputs.push_back(render(e, ctx));
+      }
+    }
+    ASSERT_EQ(outputs.size(), 6u);
+    for (std::size_t i = 1; i < outputs.size(); ++i) {
+      EXPECT_EQ(outputs[0], outputs[i]) << "variant " << i;
+    }
+  }
+}
+
+TEST(ExpSmoke, EveryExperimentProducesRowsAtSmokeScale) {
+  support::ThreadPool pool(2);
+  for (const Experiment& e : builtin_registry().all()) {
+    SCOPED_TRACE(e.id);
+    ExpContext ctx;
+    ctx.scale = Scale::kSmoke;
+    ctx.sweep.pool = &pool;
+    const ExpOutput output = run_experiment(e, ctx);
+    EXPECT_GE(output.table.row_count(), 1u);
+    EXPECT_EQ(output.table.column_count(), e.headers.size());
+  }
+}
+
+TEST(Emit, WritesCsvAndJsonFiles) {
+  const Experiment* e = builtin_registry().find("f1_qhat_construction");
+  ASSERT_NE(e, nullptr);
+  ExpContext ctx;
+  ctx.scale = Scale::kSmoke;
+  const ExpOutput output = run_experiment(*e, ctx);
+  EmitOptions options;
+  options.markdown = false;
+  options.csv_dir = ::testing::TempDir();
+  options.json_dir = ::testing::TempDir();
+  const std::vector<std::string> written = emit(*e, output, options);
+  ASSERT_EQ(written.size(), 2u);
+  EXPECT_NE(written[0].find("f1_qhat_construction.csv"), std::string::npos);
+  EXPECT_NE(written[1].find("f1_qhat_construction.json"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdv::exp

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <future>
 #include <numeric>
 #include <stdexcept>
 
+#include "support/env.hpp"
 #include "support/saturating.hpp"
 #include "support/splitmix.hpp"
 #include "support/table.hpp"
@@ -187,6 +189,36 @@ TEST(Table, AddRowRejectsCellCountMismatch) {
   EXPECT_EQ(t.row_count(), 0u);
   t.add_row({"1", "2"});
   EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, JsonShapeAndEscaping) {
+  Table t({"x", "y"});
+  t.add_row({"a\"b", "line\nbreak"});
+  t.add_row({"back\\slash", "\ttab"});
+  EXPECT_EQ(t.to_json(),
+            "{\"headers\": [\"x\", \"y\"], \"rows\": [\n"
+            "  [\"a\\\"b\", \"line\\nbreak\"],\n"
+            "  [\"back\\\\slash\", \"\\ttab\"]\n"
+            "]}\n");
+  EXPECT_EQ(Table({"only"}).to_json(),
+            "{\"headers\": [\"only\"], \"rows\": []}\n");
+}
+
+TEST(Env, FlagAndSizeParsing) {
+  ASSERT_EQ(setenv("RDV_TEST_ENV", "", 1), 0);
+  EXPECT_FALSE(env_flag("RDV_TEST_ENV"));
+  ASSERT_EQ(setenv("RDV_TEST_ENV", "0", 1), 0);
+  EXPECT_FALSE(env_flag("RDV_TEST_ENV"));
+  ASSERT_EQ(setenv("RDV_TEST_ENV", "yes", 1), 0);
+  EXPECT_TRUE(env_flag("RDV_TEST_ENV"));
+  EXPECT_EQ(env_string("RDV_TEST_ENV"), "yes");
+  EXPECT_EQ(env_size_t("RDV_TEST_ENV", 7), 7u);  // unparsable -> fallback
+  ASSERT_EQ(setenv("RDV_TEST_ENV", "42", 1), 0);
+  EXPECT_EQ(env_size_t("RDV_TEST_ENV", 7), 42u);
+  ASSERT_EQ(unsetenv("RDV_TEST_ENV"), 0);
+  EXPECT_FALSE(env_flag("RDV_TEST_ENV"));
+  EXPECT_EQ(env_string("RDV_TEST_ENV"), "");
+  EXPECT_EQ(env_size_t("RDV_TEST_ENV", 7), 7u);
 }
 
 TEST(Table, FormatHelpers) {
