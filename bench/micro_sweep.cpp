@@ -14,14 +14,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "analysis/experiments.hpp"
 #include "cache/artifact_cache.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "sweep/sweep.hpp"
@@ -219,7 +220,7 @@ int main() {
   const std::string json_path =
       (dir != nullptr ? std::string(dir) + "/" : std::string()) +
       "BENCH_sweep.json";
-  std::ofstream json(json_path);
+  std::ostringstream json;
   json << "{\"bench\":\"micro_sweep\",\"graph\":\"" << g.name()
        << "\",\"items\":" << stics.size()
        << ",\"chunk_size\":" << pool_config.chunk_size
@@ -233,9 +234,11 @@ int main() {
        << (cached_ms > 0 ? uncached_ms / cached_ms : 0)
        << ",\"cache_hits\":" << cache_stats.total_hits()
        << ",\"cache_misses\":" << cache_stats.total_misses()
-       << ",\"cache_bytes\":" << cache_stats.total_bytes() << "}\n";
-  json.flush();
-  if (!json) {
+       << ",\"cache_bytes\":" << cache_stats.total_bytes() << "}";
+  // JSON-lines update: other benches' datapoints (rdv_bench's
+  // per-experiment timings) sharing this file are preserved.
+  if (!rdv::support::update_bench_json(json_path, "micro_sweep",
+                                       json.str())) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
     return 1;
   }

@@ -1,13 +1,40 @@
 #include "cache/artifact_cache.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
+#include "store/codec.hpp"
 #include "support/env.hpp"
 #include "uxs/corpus.hpp"
 
 namespace rdv::cache {
 
 namespace {
+
+/// Read-through/write-behind shim around one artifact compute: consult
+/// the disk tier first (a validated payload short-circuits the
+/// compute), else compute and persist. Runs inside the sharded store's
+/// compute callback, i.e. outside the shard lock and at most once per
+/// in-memory miss. A payload that validated but fails to decode (a
+/// foreign codec under the same salt — should not happen) degrades to
+/// recompute-and-overwrite rather than propagating.
+template <typename T, typename Encode, typename Decode, typename Compute>
+T through_disk(store::DiskStore* disk, store::Kind kind,
+               const std::string& key, Encode&& encode, Decode&& decode,
+               Compute&& compute) {
+  if (disk != nullptr) {
+    if (const auto payload = disk->load(kind, key)) {
+      try {
+        return decode(*payload);
+      } catch (const store::CodecError&) {
+      }
+    }
+  }
+  T value = compute();
+  if (disk != nullptr) (void)disk->save(kind, key, encode(value));
+  return value;
+}
 
 std::uint64_t view_classes_bytes(const views::ViewClasses& c) {
   return c.class_of.size() * sizeof(std::uint32_t) + 2 * sizeof(std::uint32_t);
@@ -45,10 +72,29 @@ std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
   return view_classes(g, fingerprint(g));
 }
 
+std::string ArtifactCache::disk_key(const GraphFingerprint& fp) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "fp-%016llx-%016llx-n%u",
+                static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo), fp.n);
+  return buffer;
+}
+
+std::string ArtifactCache::disk_key(const ShrinkKey& key) {
+  return disk_key(key.fp) + "-u" + std::to_string(key.u) + "-v" +
+         std::to_string(key.v);
+}
+
 std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
     const graph::Graph& g, const GraphFingerprint& fp) {
   return view_classes_.get_or_compute(
-      fp, [&g] { return views::compute_view_classes(g); },
+      fp,
+      [this, &g, &fp] {
+        return through_disk<views::ViewClasses>(
+            disk(), store::Kind::kViewClasses, disk_key(fp),
+            store::encode_view_classes, store::decode_view_classes,
+            [&g] { return views::compute_view_classes(g); });
+      },
       view_classes_bytes);
 }
 
@@ -61,13 +107,26 @@ std::shared_ptr<const views::QuotientGraph> ArtifactCache::quotient(
     const graph::Graph& g, const GraphFingerprint& fp) {
   return quotients_.get_or_compute(
       fp,
-      [this, &g, &fp] { return views::build_quotient(g, *view_classes(g, fp)); },
+      [this, &g, &fp] {
+        return through_disk<views::QuotientGraph>(
+            disk(), store::Kind::kQuotients, disk_key(fp),
+            store::encode_quotient, store::decode_quotient, [this, &g, &fp] {
+              return views::build_quotient(g, *view_classes(g, fp));
+            });
+      },
       quotient_bytes);
 }
 
 std::shared_ptr<const uxs::Uxs> ArtifactCache::uxs(std::uint32_t n) {
   return uxs_.get_or_compute(
-      n, [n] { return uxs::corpus_verified_uxs(n); }, uxs_bytes);
+      n,
+      [this, n] {
+        return through_disk<uxs::Uxs>(
+            disk(), store::Kind::kUxs, "n" + std::to_string(n),
+            store::encode_uxs, store::decode_uxs,
+            [n] { return uxs::corpus_verified_uxs(n); });
+      },
+      uxs_bytes);
 }
 
 std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
@@ -78,9 +137,15 @@ std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
 std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
     const graph::Graph& g, const GraphFingerprint& fp, graph::Node u,
     graph::Node v) {
+  const ShrinkKey key{fp, u, v};
   return shrink_.get_or_compute(
-      ShrinkKey{fp, u, v},
-      [&g, u, v] { return views::shrink_with_witness(g, u, v); },
+      key,
+      [this, &g, u, v, &key] {
+        return through_disk<views::ShrinkResult>(
+            disk(), store::Kind::kShrink, disk_key(key),
+            store::encode_shrink, store::decode_shrink,
+            [&g, u, v] { return views::shrink_with_witness(g, u, v); });
+      },
       shrink_bytes);
 }
 
@@ -114,6 +179,15 @@ ArtifactCache& global_cache() {
           std::max<std::uint64_t>(1, total_bytes / config.shards);
     }
     config.enabled = !support::env_flag("RDV_CACHE_DISABLE");
+    const std::string store_dir = support::rdv_store_dir();
+    if (!store_dir.empty()) {
+      store::DiskConfig disk_config;
+      disk_config.root = store_dir;
+      const std::string salt = support::rdv_store_salt();
+      if (!salt.empty()) disk_config.build_salt = salt;
+      disk_config.read_only = support::rdv_store_readonly();
+      config.disk = std::make_shared<store::DiskStore>(disk_config);
+    }
     return new ArtifactCache(config);  // intentionally leaked: process-global
   }();
   return *cache;

@@ -7,6 +7,7 @@
 #include "cache/fingerprint.hpp"
 #include "cache/sharded_store.hpp"
 #include "graph/graph.hpp"
+#include "store/disk_store.hpp"
 #include "uxs/uxs.hpp"
 #include "views/quotient.hpp"
 #include "views/refinement.hpp"
@@ -41,6 +42,15 @@ struct CacheConfig {
   /// When false, nothing is retained and every request recomputes —
   /// the reference configuration for determinism tests.
   bool enabled = true;
+  /// Persistent second tier (ISSUE 4): on a memory miss the compute
+  /// path first consults the disk store (read-through) and persists
+  /// freshly computed artifacts (write-behind, atomic temp+rename).
+  /// nullptr = memory-only. Artifacts are pure functions of their keys
+  /// and the codec is deterministic, so the disk tier — like the memory
+  /// tier — can only change WHEN artifacts are computed, never their
+  /// values; a corrupt or version-mismatched file degrades to
+  /// recompute. Shared so several caches may back onto one store.
+  std::shared_ptr<store::DiskStore> disk;
 };
 
 struct CacheStats {
@@ -123,8 +133,18 @@ class ArtifactCache {
   [[nodiscard]] const CacheConfig& config() const noexcept {
     return config_;
   }
+  /// The persistent tier, or nullptr when memory-only.
+  [[nodiscard]] store::DiskStore* disk() const noexcept {
+    return config_.disk.get();
+  }
 
  private:
+  /// Disk-store key strings (filename-safe): the fingerprint for
+  /// per-graph artifacts, "n<k>" for UXS sizes, fingerprint + pair for
+  /// Shrink.
+  [[nodiscard]] static std::string disk_key(const GraphFingerprint& fp);
+  [[nodiscard]] static std::string disk_key(const ShrinkKey& key);
+
   CacheConfig config_;
   ShardedLruStore<GraphFingerprint, views::ViewClasses, FingerprintHash>
       view_classes_;
@@ -138,7 +158,9 @@ class ArtifactCache {
 /// Knobs (read once, at first use): RDV_CACHE_SHARDS,
 /// RDV_CACHE_CAPACITY (entries per shard), RDV_CACHE_BYTES (resident
 /// payload bytes per store, split across shards; 0/unset = unbounded),
-/// RDV_CACHE_DISABLE=1.
+/// RDV_CACHE_DISABLE=1; RDV_STORE_DIR attaches the persistent disk
+/// tier (RDV_STORE_SALT overrides its build salt, RDV_STORE_READONLY
+/// serves hits without writing).
 [[nodiscard]] ArtifactCache& global_cache();
 
 /// Typed entry points: resolve through `cache`, or through

@@ -4,12 +4,17 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "exp/scenarios/scenarios.hpp"
+#include "store/result_log.hpp"
+#include "support/bench_json.hpp"
 #include "support/env.hpp"
 #include "support/thread_pool.hpp"
+#include "uxs/corpus.hpp"
 
 namespace rdv::exp {
 namespace {
@@ -26,13 +31,24 @@ options:
   --all            select every registered experiment
   --smoke          smoke scale (tiny axes; CI-sized)
   --full           full scale (default comes from REPRO_FULL)
+  --census         census scale (full + big random-graph STIC censuses;
+                   default comes from REPRO_CENSUS)
   --threads N      run on a dedicated pool of N threads
   --chunk N        chunk size for the experiments' inner sweeps
   --csv-dir DIR    write <dir>/<id>.csv   (default: REPRO_CSV_DIR)
   --json-dir DIR   write <dir>/<id>.json  (default: REPRO_JSON_DIR)
   --json           also print each table as JSON to stdout
+  --store-dir DIR  persistent artifact store (same as RDV_STORE_DIR):
+                   warm runs skip recomputing view classes, quotients,
+                   Shrink, and UXS corpus verification
+  --result-log F   append every table to a compact binary log (round-
+                   trip verified under --check)
   --check          fail (exit 1) if any experiment emits an empty table
   --help           this text
+
+After a run, per-experiment wall-clock timings are folded into
+BENCH_sweep.json in the CSV dir (or the working directory) and store /
+UXS-verification statistics are printed to stderr.
 )";
 
 struct Args {
@@ -47,6 +63,8 @@ struct Args {
   std::size_t chunk = 0;
   std::string csv_dir;
   std::string json_dir;
+  std::string store_dir;
+  std::string result_log;
   std::vector<std::string> selectors;
 };
 
@@ -78,6 +96,9 @@ int parse_args(int argc, const char* const* argv, Args& args) {
     } else if (arg == "--full") {
       args.scale = Scale::kFull;
       args.scale_forced = true;
+    } else if (arg == "--census") {
+      args.scale = Scale::kCensus;
+      args.scale_forced = true;
     } else if (arg == "--json") {
       args.json_stdout = true;
     } else if (arg == "--check") {
@@ -92,13 +113,18 @@ int parse_args(int argc, const char* const* argv, Args& args) {
         std::fprintf(stderr, "rdv_bench: --chunk needs a positive count\n");
         return 2;
       }
-    } else if (arg == "--csv-dir" || arg == "--json-dir") {
+    } else if (arg == "--csv-dir" || arg == "--json-dir" ||
+               arg == "--store-dir" || arg == "--result-log") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "rdv_bench: %s needs a directory\n",
+        std::fprintf(stderr, "rdv_bench: %s needs a path\n",
                      std::string(arg).c_str());
         return 2;
       }
-      (arg == "--csv-dir" ? args.csv_dir : args.json_dir) = argv[++i];
+      std::string& slot = arg == "--csv-dir"    ? args.csv_dir
+                          : arg == "--json-dir" ? args.json_dir
+                          : arg == "--store-dir" ? args.store_dir
+                                                 : args.result_log;
+      slot = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "rdv_bench: unknown option %s\n%s",
                    std::string(arg).c_str(), kUsage);
@@ -157,6 +183,7 @@ const char* scale_name(Scale scale) {
     case Scale::kSmoke: return "smoke";
     case Scale::kQuick: return "quick";
     case Scale::kFull: return "full";
+    case Scale::kCensus: return "census";
   }
   return "?";
 }
@@ -168,6 +195,106 @@ void print_list(const std::vector<const Experiment*>& selected) {
   }
   std::printf("%zu experiments registered\n%s", selected.size(),
               table.to_markdown().c_str());
+}
+
+/// One BENCH_sweep.json datapoint per executed experiment — the
+/// per-scenario trend-tracking companion to micro_sweep's substrate
+/// datapoint (the "bench" field tells the two apart).
+struct Timing {
+  std::string id;
+  std::uint64_t wall_micros = 0;
+  std::size_t cases = 0;
+  std::size_t rows = 0;
+};
+
+void write_bench_json(const std::string& csv_dir, Scale scale,
+                      std::size_t threads,
+                      const std::vector<Timing>& timings) {
+  const std::string path =
+      (csv_dir.empty() ? std::string() : csv_dir + "/") + "BENCH_sweep.json";
+  std::ostringstream json;
+  json << "{\"bench\":\"rdv_bench\",\"scale\":\"" << scale_name(scale)
+       << "\",\"threads\":" << threads << ",\"experiments\":[";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    if (i != 0) json << ",";
+    json << "{\"id\":\"" << t.id << "\",\"wall_ms\":"
+         << static_cast<double>(t.wall_micros) / 1000.0
+         << ",\"cases\":" << t.cases << ",\"rows\":" << t.rows << "}";
+  }
+  json << "]}";
+  // JSON-lines update: replaces only the rdv_bench line, preserving
+  // e.g. micro_sweep's substrate datapoint in a shared CSV dir.
+  if (!support::update_bench_json(path, "rdv_bench", json.str())) {
+    std::fprintf(stderr, "rdv_bench: warning: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "rdv_bench: timings folded into %s\n", path.c_str());
+}
+
+/// Store / UXS statistics on stderr (never stdout: warm and cold runs
+/// must stay byte-identical there). The warm-run CI job greps
+/// uxs_corpus_verifications=0 on the second invocation.
+void print_run_stats() {
+  std::fprintf(stderr, "rdv_bench: uxs_corpus_verifications=%llu\n",
+               static_cast<unsigned long long>(
+                   uxs::corpus_verification_count()));
+  const store::DiskStore* disk = cache::global_cache().disk();
+  if (disk == nullptr) return;
+  std::fprintf(stderr, "rdv_bench: store dir=%s salt=%s\n",
+               disk->config().root.c_str(),
+               disk->config().build_salt.c_str());
+  for (std::size_t k = 0; k < store::kKindCount; ++k) {
+    const auto kind = static_cast<store::Kind>(k);
+    const store::DiskStats s = disk->stats(kind);
+    std::fprintf(stderr,
+                 "rdv_bench: store[%s] hits=%llu misses=%llu corrupt=%llu "
+                 "version_mismatch=%llu writes=%llu write_failures=%llu "
+                 "bytes_read=%llu bytes_written=%llu\n",
+                 store::kind_name(kind),
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.corrupt),
+                 static_cast<unsigned long long>(s.version_mismatch),
+                 static_cast<unsigned long long>(s.writes),
+                 static_cast<unsigned long long>(s.write_failures),
+                 static_cast<unsigned long long>(s.bytes_read),
+                 static_cast<unsigned long long>(s.bytes_written));
+  }
+}
+
+/// Round-trips the just-written binary log and compares it against the
+/// records the run produced — the --result-log leg of --check.
+bool verify_result_log(const std::string& path,
+                       const std::vector<store::ResultRecord>& expected) {
+  std::vector<store::ResultRecord> read;
+  try {
+    read = store::read_result_log(path);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "rdv_bench: result log %s unreadable: %s\n",
+                 path.c_str(), ex.what());
+    return false;
+  }
+  if (read.size() != expected.size()) {
+    std::fprintf(stderr,
+                 "rdv_bench: result log %s has %zu records, expected %zu\n",
+                 path.c_str(), read.size(), expected.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    // Byte-level comparison through the canonical encoding: any field
+    // drift (id, scale, counters, schema, cells) fails the check.
+    if (store::encode_result_record(read[i]) !=
+        store::encode_result_record(expected[i])) {
+      std::fprintf(stderr,
+                   "rdv_bench: result log %s record %zu (%s) does not "
+                   "round-trip\n",
+                   path.c_str(), i, expected[i].experiment_id.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 void print_describe(const std::vector<const Experiment*>& selected) {
@@ -191,7 +318,18 @@ int run_main(int argc, const char* const* argv) {
   Args args;
   const int parse = parse_args(argc, argv, args);
   if (parse != 0) return parse < 0 ? 0 : parse;
-  if (!args.scale_forced && support::repro_full()) args.scale = Scale::kFull;
+  if (!args.scale_forced) {
+    if (support::repro_census()) {
+      args.scale = Scale::kCensus;
+    } else if (support::repro_full()) {
+      args.scale = Scale::kFull;
+    }
+  }
+  // --store-dir is sugar for RDV_STORE_DIR; exported before anything
+  // touches the global cache (which reads the knob exactly once).
+  if (!args.store_dir.empty()) {
+    ::setenv("RDV_STORE_DIR", args.store_dir.c_str(), 1);
+  }
 
   const Registry& registry = builtin_registry();
   std::vector<const Experiment*> selected;
@@ -221,7 +359,19 @@ int run_main(int argc, const char* const* argv) {
   if (!args.json_dir.empty()) emit_options.json_dir = args.json_dir;
   emit_options.json_stdout = args.json_stdout;
 
+  std::unique_ptr<store::ResultLogWriter> log;
+  if (!args.result_log.empty()) {
+    log = std::make_unique<store::ResultLogWriter>(args.result_log);
+    if (!log->ok()) {
+      std::fprintf(stderr, "rdv_bench: cannot write result log %s\n",
+                   args.result_log.c_str());
+      return 2;
+    }
+  }
+
   int failures = 0;
+  std::vector<Timing> timings;
+  std::vector<store::ResultRecord> logged;
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const Experiment& e = *selected[i];
     if (i != 0) std::printf("\n");
@@ -230,6 +380,30 @@ int run_main(int argc, const char* const* argv) {
       const ExpOutput output = run_experiment(e, ctx);
       const std::vector<std::string> written =
           emit(e, output, emit_options);
+      timings.push_back(Timing{e.id, output.wall_micros,
+                               output.stats.items_total,
+                               output.table.row_count()});
+      if (log != nullptr) {
+        store::ResultRecord record;
+        record.experiment_id = e.id;
+        record.scale = scale_name(ctx.scale);
+        record.wall_micros = output.wall_micros;
+        record.items_total = output.stats.items_total;
+        record.items_produced = output.stats.items_produced;
+        record.headers = output.table.headers();
+        record.rows = output.table.rows();
+        log->append(record);
+        if (!log->ok()) {
+          // One counted failure, then stop logging (and skip the final
+          // round-trip, which could only re-report the same fault).
+          std::fprintf(stderr, "rdv_bench: result log write failed at %s\n",
+                       e.id.c_str());
+          ++failures;
+          log.reset();
+        } else {
+          logged.push_back(std::move(record));
+        }
+      }
       if (args.check && output.table.row_count() == 0) {
         std::fprintf(stderr, "rdv_bench: %s produced an empty table\n",
                      e.id.c_str());
@@ -250,6 +424,16 @@ int run_main(int argc, const char* const* argv) {
       ++failures;
     }
   }
+  if (log != nullptr && args.check &&
+      !verify_result_log(args.result_log, logged)) {
+    ++failures;
+  }
+  write_bench_json(emit_options.csv_dir, ctx.scale,
+                   args.threads != 0
+                       ? args.threads
+                       : support::default_pool().thread_count(),
+                   timings);
+  print_run_stats();
   if (failures != 0) {
     std::fprintf(stderr, "rdv_bench: %d of %zu experiments failed\n",
                  failures, selected.size());
@@ -267,7 +451,9 @@ int run_single(std::string_view id) {
     return 2;
   }
   ExpContext ctx;
-  ctx.scale = support::repro_full() ? Scale::kFull : Scale::kQuick;
+  ctx.scale = support::repro_census()
+                  ? Scale::kCensus
+                  : (support::repro_full() ? Scale::kFull : Scale::kQuick);
   try {
     const ExpOutput output = run_experiment(*e, ctx);
     emit(*e, output, emit_options_from_env());

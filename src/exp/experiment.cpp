@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -10,6 +11,7 @@ namespace rdv::exp {
 
 ExpOutput run_experiment(const Experiment& experiment,
                          const ExpContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
   const std::vector<CaseFn> cases = experiment.cases(ctx);
   ExpOutput output{support::Table(experiment.headers), {}, {}};
   std::vector<std::vector<std::string>> rows;
@@ -39,6 +41,10 @@ ExpOutput run_experiment(const Experiment& experiment,
   // count is the table's, not the sweep's.
   output.stats.items_produced = output.table.row_count();
   if (experiment.notes) output.notes = experiment.notes(ctx);
+  output.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   return output;
 }
 

@@ -29,6 +29,10 @@ enum class Scale {
   kQuick,
   /// The paper-scale sweep (the old REPRO_FULL=1 behavior).
   kFull,
+  /// Census: a strict superset of kFull growing the random-graph STIC
+  /// censuses (REPRO_CENSUS=1 / --census). Opt-in only — never reached
+  /// from tier-1 tests or CI smoke — so axes here may take minutes.
+  kCensus,
 };
 
 /// Everything a case kernel may depend on besides its own parameters.
@@ -39,7 +43,13 @@ struct ExpContext {
   Scale scale = Scale::kQuick;
   sweep::SweepConfig sweep;
 
-  [[nodiscard]] bool full() const noexcept { return scale == Scale::kFull; }
+  /// Census axes extend full axes, so full() is true at census too —
+  /// scenarios guard their big branches with full() and add census-only
+  /// growth behind census().
+  [[nodiscard]] bool full() const noexcept { return scale >= Scale::kFull; }
+  [[nodiscard]] bool census() const noexcept {
+    return scale == Scale::kCensus;
+  }
   [[nodiscard]] bool smoke() const noexcept {
     return scale == Scale::kSmoke;
   }
@@ -89,6 +99,11 @@ struct ExpOutput {
   support::Table table;
   std::vector<std::string> notes;
   sweep::SweepStats stats;
+  /// Wall-clock of the whole run_experiment call (case generation +
+  /// sweep + merge). Scheduling-dependent: reported via BENCH_sweep.json
+  /// and the binary result log, never printed into the tables (those
+  /// stay byte-identical across thread counts and warm/cold stores).
+  std::uint64_t wall_micros = 0;
 };
 
 /// Instantiates the experiment's cases and executes them on the sweep

@@ -41,9 +41,10 @@ void register_t11(Registry& registry) {
       "are impossible for every deterministic algorithm";
   e.axes = {"STIC: rings, tori, double trees, hypercubes (fixed seeds "
             "per run index)",
-            "runs per STIC: smoke 5, quick 20, full 50",
+            "runs per STIC: smoke 5, quick 20, full/census 50",
             "smoke: 2 STICs; quick: 5; full: +ring(32) +torus(5,5) "
-            "+random_connected(24,12,5)"};
+            "+random_connected(24,12,5) +random_connected(32,20,6); "
+            "census: +random_connected(48,36,7)"};
   e.headers = {"graph",    "n",           "STIC",      "deterministic",
                "runs met", "mean rounds", "max rounds"};
   e.tags = {"table", "randomized", "baseline"};
@@ -62,6 +63,10 @@ void register_t11(Registry& registry) {
       cases->push_back({families::oriented_ring(32), 0, 16, 0});
       cases->push_back({families::oriented_torus(5, 5), 0, 12, 0});
       cases->push_back({families::random_connected(24, 12, 5), 0, 12, 0});
+      cases->push_back({families::random_connected(32, 20, 6), 0, 16, 0});
+    }
+    if (ctx.census()) {
+      cases->push_back({families::random_connected(48, 36, 7), 0, 24, 0});
     }
     const int runs = ctx.smoke() ? 5 : (ctx.full() ? 50 : 20);
     std::vector<CaseFn> fns;

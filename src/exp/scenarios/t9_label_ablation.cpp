@@ -94,7 +94,8 @@ void register_t9(Registry& registry) {
       "per-graph check that UXS signature equality matches the "
       "view-class oracle, plus meeting times under both label modes";
   e.axes = {"graph: paths, scrambled rings, complete, random connected",
-            "smoke: 2 graphs; quick: 4; full: +random_connected(10,6,8)"};
+            "smoke: 2 graphs; quick: 4; full: +random_connected(10,6,8) "
+            "+random_connected(12,8,9); census: +random_connected(14,10,10)"};
   e.headers = {"graph", "pairs", "label==oracle agree",
                "signature-label rounds", "oracle-label rounds"};
   e.tags = {"table", "ablation", "asymm-rv"};
@@ -110,6 +111,10 @@ void register_t9(Registry& registry) {
     }
     if (ctx.full()) {
       graphs->push_back(families::random_connected(10, 6, 8));
+      graphs->push_back(families::random_connected(12, 8, 9));
+    }
+    if (ctx.census()) {
+      graphs->push_back(families::random_connected(14, 10, 10));
     }
     std::vector<CaseFn> fns;
     fns.reserve(graphs->size());

@@ -1,0 +1,178 @@
+#include "store/disk_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rdv::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'V', 'S'};
+
+std::size_t kind_index(Kind kind) noexcept {
+  return static_cast<std::size_t>(kind);
+}
+
+/// Whole-file read; nullopt when the file cannot be opened.
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+DiskStore::DiskStore(DiskConfig config) : config_(std::move(config)) {
+  // Best-effort directory creation: an unusable root degrades every
+  // load to a miss and every save to a counted failure, it never
+  // throws out of experiment setup.
+  std::error_code ec;
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    fs::create_directories(
+        fs::path(config_.root) / kind_name(static_cast<Kind>(k)), ec);
+  }
+}
+
+std::string DiskStore::path_for(Kind kind, const std::string& key) const {
+  return (fs::path(config_.root) / kind_name(kind) / (key + ".bin"))
+      .string();
+}
+
+std::optional<std::string> DiskStore::load(Kind kind,
+                                           const std::string& key) {
+  AtomicStats& s = stats_[kind_index(kind)];
+  std::optional<std::string> raw = read_file(path_for(kind, key));
+  if (!raw.has_value()) {
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  s.bytes_read.fetch_add(raw->size(), std::memory_order_relaxed);
+  try {
+    if (raw->size() < 4 || !std::equal(kMagic, kMagic + 4, raw->data())) {
+      throw CodecError("bad magic");
+    }
+    Decoder body(std::string_view(*raw).substr(4));
+    const std::uint32_t version = body.u32();
+    const std::string salt = body.str();
+    if (version != kFormatVersion || salt != config_.build_salt) {
+      s.version_mismatch.fetch_add(1, std::memory_order_relaxed);
+      s.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const std::string stored_kind = body.str();
+    const std::string stored_key = body.str();
+    if (stored_kind != kind_name(kind) || stored_key != key) {
+      throw CodecError("foreign key echo");
+    }
+    const std::uint64_t payload_size = body.u64();
+    const std::uint64_t payload_sum = body.u64();
+    if (payload_size != body.remaining()) {
+      throw CodecError("payload size mismatch");
+    }
+    std::string payload = body.rest();
+    if (checksum(payload) != payload_sum) {
+      throw CodecError("payload checksum mismatch");
+    }
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+  } catch (const CodecError&) {
+    s.corrupt.fetch_add(1, std::memory_order_relaxed);
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+bool DiskStore::save(Kind kind, const std::string& key,
+                     std::string_view payload) {
+  AtomicStats& s = stats_[kind_index(kind)];
+  if (config_.read_only) return false;
+
+  Encoder e;
+  // Header; the magic goes in raw so a hexdump identifies store files.
+  std::string bytes(kMagic, 4);
+  e.u32(kFormatVersion);
+  e.str(config_.build_salt);
+  e.str(kind_name(kind));
+  e.str(key);
+  e.u64(payload.size());
+  e.u64(checksum(payload));
+  bytes += e.take();
+  bytes.append(payload.data(), payload.size());
+
+  const std::string final_path = path_for(kind, key);
+  // Unique temp in the SAME directory (rename must not cross devices):
+  // pid + store identity + per-store sequence keeps concurrent writers
+  // — threads, several stores on one dir, and other processes — from
+  // colliding on the temp name.
+  std::ostringstream temp_name;
+  temp_name << final_path << ".tmp." << ::getpid() << "."
+            << reinterpret_cast<std::uintptr_t>(this) << "."
+            << temp_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string temp_path = temp_name.str();
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      s.write_failures.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      s.write_failures.fetch_add(1, std::memory_order_relaxed);
+      std::error_code ec;
+      fs::remove(temp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    s.write_failures.fetch_add(1, std::memory_order_relaxed);
+    fs::remove(temp_path, ec);
+    return false;
+  }
+  s.writes.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return true;
+}
+
+DiskStats DiskStore::stats(Kind kind) const {
+  const AtomicStats& s = stats_[kind_index(kind)];
+  DiskStats out;
+  out.hits = s.hits.load(std::memory_order_relaxed);
+  out.misses = s.misses.load(std::memory_order_relaxed);
+  out.corrupt = s.corrupt.load(std::memory_order_relaxed);
+  out.version_mismatch = s.version_mismatch.load(std::memory_order_relaxed);
+  out.writes = s.writes.load(std::memory_order_relaxed);
+  out.write_failures = s.write_failures.load(std::memory_order_relaxed);
+  out.bytes_read = s.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = s.bytes_written.load(std::memory_order_relaxed);
+  return out;
+}
+
+DiskStats DiskStore::total_stats() const {
+  DiskStats total;
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    const DiskStats s = stats(static_cast<Kind>(k));
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.corrupt += s.corrupt;
+    total.version_mismatch += s.version_mismatch;
+    total.writes += s.writes;
+    total.write_failures += s.write_failures;
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+  }
+  return total;
+}
+
+}  // namespace rdv::store

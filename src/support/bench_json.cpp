@@ -1,0 +1,51 @@
+#include "support/bench_json.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace rdv::support {
+
+bool update_bench_json(const std::string& path,
+                       const std::string& bench_name,
+                       const std::string& json_line) {
+  const std::string tag = "\"bench\":\"" + bench_name + "\"";
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.find(tag) == std::string::npos) {
+        kept.push_back(line);
+      }
+    }
+  }
+  // Write-temp-then-rename (same pattern as store::DiskStore): a crash
+  // mid-write never wipes the other benches' datapoints, and a reader
+  // never sees a torn file. Concurrent emitters can still last-write-
+  // win on the SAME line, but each rename publishes a complete file.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) return false;
+    for (const std::string& line : kept) out << line << "\n";
+    out << json_line << "\n";
+    out.flush();
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rdv::support

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+/// BENCH_sweep.json maintenance shared by the bench emitters.
+///
+/// The file is JSON-lines: one object per line, each tagged with a
+/// "bench" field ("micro_sweep", "rdv_bench", ...). Each emitter
+/// replaces ONLY its own line and preserves every other bench's latest
+/// datapoint, so the binaries can share one trend-tracking file in one
+/// REPRO_CSV_DIR without clobbering each other.
+namespace rdv::support {
+
+/// Rewrites `path` keeping every line whose `"bench":"..."` tag differs
+/// from `bench_name` and appending `json_line` (one full JSON object,
+/// no trailing newline needed). Returns false when the file cannot be
+/// written.
+bool update_bench_json(const std::string& path,
+                       const std::string& bench_name,
+                       const std::string& json_line);
+
+}  // namespace rdv::support

@@ -25,6 +25,11 @@ namespace rdv::support {
 /// (the long-documented contract), so REPRO_FULL=false stays a no-op.
 [[nodiscard]] bool repro_full();
 
+/// REPRO_CENSUS=1 — experiments run their census-scale sweeps (a strict
+/// superset of full; big random-graph STIC censuses). Same strict-"1"
+/// contract as REPRO_FULL.
+[[nodiscard]] bool repro_census();
+
 /// REPRO_CSV_DIR — when nonempty, experiments also write
 /// `<dir>/<experiment_id>.csv`.
 [[nodiscard]] std::string repro_csv_dir();
@@ -32,5 +37,18 @@ namespace rdv::support {
 /// REPRO_JSON_DIR — when nonempty, experiments also write
 /// `<dir>/<experiment_id>.json`.
 [[nodiscard]] std::string repro_json_dir();
+
+/// RDV_STORE_DIR — when nonempty, the global artifact cache attaches a
+/// persistent on-disk store rooted there (warm runs skip recomputing
+/// every artifact kind, including UXS corpus verification).
+[[nodiscard]] std::string rdv_store_dir();
+
+/// RDV_STORE_SALT — overrides the store's build salt (see
+/// store::kDefaultBuildSalt); empty means the built-in default.
+[[nodiscard]] std::string rdv_store_salt();
+
+/// RDV_STORE_READONLY — serve disk hits but never write (shared or
+/// read-only store directories).
+[[nodiscard]] bool rdv_store_readonly();
 
 }  // namespace rdv::support

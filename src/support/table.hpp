@@ -33,6 +33,16 @@ class Table {
     return headers_.size();
   }
 
+  /// Raw cells, for emitters that re-frame rather than render (the
+  /// binary result log).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

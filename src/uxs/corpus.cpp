@@ -1,5 +1,6 @@
 #include "uxs/corpus.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "graph/families/families.hpp"
@@ -74,8 +75,17 @@ std::vector<Graph> standard_corpus(std::uint32_t n,
   return corpus;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_corpus_verifications{0};
+}  // namespace
+
+std::uint64_t corpus_verification_count() {
+  return g_corpus_verifications.load(std::memory_order_relaxed);
+}
+
 Uxs corpus_verified_uxs(std::uint32_t n, std::uint64_t seed,
                         std::size_t max_length) {
+  g_corpus_verifications.fetch_add(1, std::memory_order_relaxed);
   const std::vector<Graph> corpus = standard_corpus(n);
   std::size_t length = std::max<std::size_t>(8, 2 * n);
   while (length <= max_length) {

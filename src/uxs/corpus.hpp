@@ -34,6 +34,12 @@ namespace rdv::uxs {
                                       std::uint64_t seed = kDefaultSeed,
                                       std::size_t max_length = 1u << 22);
 
+/// Process-wide count of corpus_verified_uxs invocations (i.e. full
+/// corpus verifications actually performed, cache/store hits excluded).
+/// `rdv_bench` reports it so the warm-store CI job can assert a second
+/// invocation performs ZERO verifications.
+[[nodiscard]] std::uint64_t corpus_verification_count();
+
 /// Smallest doubling-length fixed-seed stream covering one specific
 /// graph (for experiments whose arena is known up front — e.g. sweeps
 /// over seeded random graphs outside the standard corpus). Starts at

@@ -1,0 +1,539 @@
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "cache/fingerprint.hpp"
+#include "graph/families/families.hpp"
+#include "store/codec.hpp"
+#include "store/disk_store.hpp"
+#include "store/result_log.hpp"
+#include "uxs/corpus.hpp"
+#include "views/quotient.hpp"
+#include "views/refinement.hpp"
+#include "views/shrink.hpp"
+
+namespace rdv::store {
+namespace {
+
+namespace fs = std::filesystem;
+namespace families = rdv::graph::families;
+
+/// Fresh directory per test (TempDir is shared across the binary).
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "store_test_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---- codec ----------------------------------------------------------
+
+TEST(Codec, PrimitivesRoundTripAndRejectTrailing) {
+  Encoder e;
+  e.u32(0xDEADBEEFu);
+  e.u64(0x0123456789ABCDEFULL);
+  e.str("hello");
+  e.u32_vec({1, 2, 3});
+  e.u64_vec({});
+  const std::string bytes = e.bytes();
+
+  Decoder d(bytes);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.u32_vec(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(d.u64_vec().empty());
+  EXPECT_NO_THROW(d.finish());
+
+  // Keep the buffer alive: Decoder views, it does not copy.
+  const std::string with_tail = bytes + "x";
+  Decoder trailing(with_tail);
+  (void)trailing.u32();
+  (void)trailing.u64();
+  (void)trailing.str();
+  (void)trailing.u32_vec();
+  (void)trailing.u64_vec();
+  EXPECT_THROW(trailing.finish(), CodecError);
+
+  const std::string cut = bytes.substr(0, 6);
+  Decoder truncated(cut);
+  (void)truncated.u32();
+  EXPECT_THROW(truncated.u64(), CodecError);
+}
+
+TEST(Codec, ChecksumDetectsFlipsAndPermutations) {
+  const std::uint64_t base = checksum("abcdefgh12345678");
+  EXPECT_EQ(checksum("abcdefgh12345678"), base);
+  EXPECT_NE(checksum("Abcdefgh12345678"), base);
+  EXPECT_NE(checksum("12345678abcdefgh"), base);  // permuted blocks
+  EXPECT_NE(checksum("abcdefgh1234567"), base);   // truncated
+}
+
+TEST(Codec, ArtifactsRoundTripByteExactly) {
+  const graph::Graph g = families::oriented_torus(3, 3);
+
+  const uxs::Uxs y = uxs::corpus_verified_uxs(4);
+  const uxs::Uxs y2 = decode_uxs(encode_uxs(y));
+  EXPECT_TRUE(std::equal(y.terms().begin(), y.terms().end(),
+                         y2.terms().begin(), y2.terms().end()));
+  EXPECT_EQ(y.provenance(), y2.provenance());
+  // Determinism: encoding the decoded value reproduces the same bytes.
+  EXPECT_EQ(encode_uxs(y), encode_uxs(y2));
+
+  const views::ViewClasses c = views::compute_view_classes(g);
+  const views::ViewClasses c2 = decode_view_classes(encode_view_classes(c));
+  EXPECT_EQ(c.class_of, c2.class_of);
+  EXPECT_EQ(c.class_count, c2.class_count);
+  EXPECT_EQ(c.rounds, c2.rounds);
+
+  const views::QuotientGraph q = views::build_quotient(g, c);
+  const views::QuotientGraph q2 = decode_quotient(encode_quotient(q));
+  EXPECT_EQ(q.multiplicity, q2.multiplicity);
+  ASSERT_EQ(q.arcs.size(), q2.arcs.size());
+  for (std::size_t i = 0; i < q.arcs.size(); ++i) {
+    ASSERT_EQ(q.arcs[i].size(), q2.arcs[i].size());
+    for (std::size_t p = 0; p < q.arcs[i].size(); ++p) {
+      EXPECT_EQ(q.arcs[i][p].to_class, q2.arcs[i][p].to_class);
+      EXPECT_EQ(q.arcs[i][p].rev_port, q2.arcs[i][p].rev_port);
+    }
+  }
+
+  const views::ShrinkResult r = views::shrink_with_witness(g, 0, 4);
+  const views::ShrinkResult r2 = decode_shrink(encode_shrink(r));
+  EXPECT_EQ(r.shrink, r2.shrink);
+  EXPECT_EQ(r.witness, r2.witness);
+  EXPECT_EQ(r.closest_u, r2.closest_u);
+  EXPECT_EQ(r.closest_v, r2.closest_v);
+  EXPECT_EQ(r.pairs_explored, r2.pairs_explored);
+}
+
+TEST(Codec, DecodersRejectGarbage) {
+  EXPECT_THROW(decode_uxs("garbage"), CodecError);
+  EXPECT_THROW(decode_view_classes(""), CodecError);
+  EXPECT_THROW(decode_quotient("\x01\x02"), CodecError);
+  EXPECT_THROW(decode_shrink("x"), CodecError);
+  // Valid payload + trailing byte is rejected too.
+  const std::string ok = encode_view_classes(views::ViewClasses{{0, 1}, 2, 1});
+  EXPECT_THROW(decode_view_classes(ok + "z"), CodecError);
+}
+
+// ---- DiskStore ------------------------------------------------------
+
+TEST(DiskStore, SaveLoadRoundTripWithStats) {
+  DiskConfig config;
+  config.root = fresh_dir("roundtrip");
+  DiskStore store(config);
+
+  EXPECT_FALSE(store.load(Kind::kUxs, "n6").has_value());
+  EXPECT_EQ(store.stats(Kind::kUxs).misses, 1u);
+
+  const std::string payload = encode_uxs(uxs::corpus_verified_uxs(4));
+  EXPECT_TRUE(store.save(Kind::kUxs, "n6", payload));
+  const auto loaded = store.load(Kind::kUxs, "n6");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+
+  const DiskStats stats = store.stats(Kind::kUxs);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_GT(stats.bytes_written, payload.size());  // header overhead
+  EXPECT_GT(stats.bytes_read, 0u);
+  // Kinds are separate namespaces (and separate subdirectories).
+  EXPECT_FALSE(store.load(Kind::kShrink, "n6").has_value());
+  EXPECT_TRUE(
+      fs::exists(fs::path(config.root) / "uxs" / "n6.bin"));
+}
+
+TEST(DiskStore, CorruptionAndTruncationFallBackToMiss) {
+  DiskConfig config;
+  config.root = fresh_dir("corrupt");
+  DiskStore store(config);
+  const std::string payload = "payload-bytes-0123456789";
+  ASSERT_TRUE(store.save(Kind::kShrink, "k1", payload));
+  const std::string path = store.path_for(Kind::kShrink, "k1");
+
+  // Flip one payload byte: checksum mismatch -> corrupt miss.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x40);
+  write_file(path, bytes);
+  EXPECT_FALSE(store.load(Kind::kShrink, "k1").has_value());
+  EXPECT_EQ(store.stats(Kind::kShrink).corrupt, 1u);
+
+  // Truncate mid-header: corrupt miss, not a crash.
+  write_file(path, read_file(path).substr(0, 9));
+  EXPECT_FALSE(store.load(Kind::kShrink, "k1").has_value());
+
+  // Garbage magic: corrupt miss.
+  write_file(path, "not a store file at all");
+  EXPECT_FALSE(store.load(Kind::kShrink, "k1").has_value());
+
+  // Empty file (torn creation): corrupt miss.
+  write_file(path, "");
+  EXPECT_FALSE(store.load(Kind::kShrink, "k1").has_value());
+  EXPECT_EQ(store.stats(Kind::kShrink).corrupt, 4u);
+
+  // A rewrite repairs the entry.
+  ASSERT_TRUE(store.save(Kind::kShrink, "k1", payload));
+  const auto repaired = store.load(Kind::kShrink, "k1");
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(*repaired, payload);
+}
+
+TEST(DiskStore, VersionAndSaltMismatchAreMissesNotCorruption) {
+  const std::string root = fresh_dir("salt");
+  DiskConfig writer_config;
+  writer_config.root = root;
+  writer_config.build_salt = "salt-A";
+  DiskStore writer(writer_config);
+  ASSERT_TRUE(writer.save(Kind::kUxs, "n5", "uxs-payload"));
+
+  // Same salt reads back...
+  DiskStore same(writer_config);
+  EXPECT_TRUE(same.load(Kind::kUxs, "n5").has_value());
+
+  // ...a different build salt must NOT trust the artifact.
+  DiskConfig reader_config;
+  reader_config.root = root;
+  reader_config.build_salt = "salt-B";
+  DiskStore reader(reader_config);
+  EXPECT_FALSE(reader.load(Kind::kUxs, "n5").has_value());
+  const DiskStats stats = reader.stats(Kind::kUxs);
+  EXPECT_EQ(stats.version_mismatch, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+
+  // A bumped on-disk format version is likewise a clean miss: patch the
+  // version field (4 bytes, little-endian, right after the magic).
+  std::string bytes = read_file(writer.path_for(Kind::kUxs, "n5"));
+  bytes[4] = static_cast<char>(kFormatVersion + 1);
+  write_file(writer.path_for(Kind::kUxs, "n5"), bytes);
+  EXPECT_FALSE(same.load(Kind::kUxs, "n5").has_value());
+  EXPECT_EQ(same.stats(Kind::kUxs).version_mismatch, 1u);
+}
+
+TEST(DiskStore, KeyEchoRejectsRenamedFiles) {
+  DiskConfig config;
+  config.root = fresh_dir("echo");
+  DiskStore store(config);
+  ASSERT_TRUE(store.save(Kind::kUxs, "n5", "five"));
+  // A file copied under another key must not serve that key.
+  fs::copy_file(store.path_for(Kind::kUxs, "n5"),
+                store.path_for(Kind::kUxs, "n7"));
+  EXPECT_FALSE(store.load(Kind::kUxs, "n7").has_value());
+  EXPECT_EQ(store.stats(Kind::kUxs).corrupt, 1u);
+}
+
+TEST(DiskStore, ReadOnlyServesHitsWithoutWriting) {
+  const std::string root = fresh_dir("readonly");
+  DiskConfig rw;
+  rw.root = root;
+  DiskStore writer(rw);
+  ASSERT_TRUE(writer.save(Kind::kUxs, "n5", "five"));
+
+  DiskConfig ro = rw;
+  ro.read_only = true;
+  DiskStore reader(ro);
+  EXPECT_TRUE(reader.load(Kind::kUxs, "n5").has_value());
+  EXPECT_FALSE(reader.save(Kind::kUxs, "n9", "nine"));
+  EXPECT_EQ(reader.stats(Kind::kUxs).writes, 0u);
+  EXPECT_FALSE(fs::exists(reader.path_for(Kind::kUxs, "n9")));
+}
+
+TEST(DiskStore, UnusableRootDegradesGracefully) {
+  DiskConfig config;
+  // A root under a path that is a FILE cannot be created.
+  const std::string blocker = fresh_dir("blocked") + "/file";
+  write_file(blocker, "x");
+  config.root = blocker + "/store";
+  DiskStore store(config);
+  EXPECT_FALSE(store.load(Kind::kUxs, "n5").has_value());
+  EXPECT_FALSE(store.save(Kind::kUxs, "n5", "five"));
+  EXPECT_EQ(store.stats(Kind::kUxs).write_failures, 1u);
+}
+
+TEST(DiskStore, ConcurrentWritersOneDirectorySettleOnCompleteFiles) {
+  // Several stores (the in-process stand-in for several processes) on
+  // ONE directory, racing writes to the same keys: every final file
+  // must parse as one complete value — never interleaved bytes.
+  const std::string root = fresh_dir("race");
+  constexpr int kWriters = 4;
+  constexpr int kKeys = 6;
+  constexpr int kRounds = 8;
+  std::vector<std::unique_ptr<DiskStore>> stores;
+  for (int w = 0; w < kWriters; ++w) {
+    DiskConfig config;
+    config.root = root;
+    stores.push_back(std::make_unique<DiskStore>(config));
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          // Deterministic payload per key (the real workload: artifacts
+          // are pure functions of the key), large enough that a torn
+          // write would be visible.
+          const std::string payload(4096 + 97 * k, static_cast<char>('a' + k));
+          ASSERT_TRUE(stores[static_cast<std::size_t>(w)]->save(
+              Kind::kShrink, "key" + std::to_string(k), payload));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  DiskConfig config;
+  config.root = root;
+  DiskStore reader(config);
+  for (int k = 0; k < kKeys; ++k) {
+    const auto loaded = reader.load(Kind::kShrink, "key" + std::to_string(k));
+    ASSERT_TRUE(loaded.has_value()) << k;
+    EXPECT_EQ(*loaded,
+              std::string(4096 + 97 * k, static_cast<char>('a' + k)));
+  }
+  // No temp droppings left behind.
+  std::size_t files = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root) / "shrink")) {
+    EXPECT_EQ(entry.path().extension(), ".bin") << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, static_cast<std::size_t>(kKeys));
+}
+
+TEST(DiskStore, TwoProcessesWritingOneStoreDir) {
+  // The genuine two-process case (ISSUE 4 satellite): parent and child
+  // race DIFFERENT payload sizes onto the same key; rename atomicity
+  // must leave a file that parses completely as one of the two.
+  const std::string root = fresh_dir("twoproc");
+  const std::string small(1024, 's');
+  const std::string large(1024 * 256, 'L');
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child process: no gtest assertions (they would double-report);
+    // exit code carries success.
+    DiskConfig config;
+    config.root = root;
+    DiskStore store(config);
+    bool ok = true;
+    for (int round = 0; round < 50; ++round) {
+      ok = store.save(Kind::kUxs, "contended", small) && ok;
+    }
+    _exit(ok ? 0 : 1);
+  }
+  {
+    DiskConfig config;
+    config.root = root;
+    DiskStore store(config);
+    for (int round = 0; round < 50; ++round) {
+      ASSERT_TRUE(store.save(Kind::kUxs, "contended", large));
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  DiskConfig config;
+  config.root = root;
+  DiskStore reader(config);
+  const auto final_value = reader.load(Kind::kUxs, "contended");
+  ASSERT_TRUE(final_value.has_value());
+  EXPECT_TRUE(*final_value == small || *final_value == large);
+  EXPECT_EQ(reader.stats(Kind::kUxs).corrupt, 0u);
+}
+
+// ---- ArtifactCache two-tier integration -----------------------------
+
+TEST(CacheStoreIntegration, WarmCacheSkipsEveryRecomputeIncludingUxs) {
+  auto disk = std::make_shared<DiskStore>(
+      DiskConfig{fresh_dir("twotier"), kDefaultBuildSalt, false});
+  const graph::Graph g = families::oriented_torus(3, 3);
+
+  // Cold pass: one compute + one disk write per artifact kind.
+  cache::CacheConfig cold_config;
+  cold_config.disk = disk;
+  cache::ArtifactCache cold(cold_config);
+  const auto classes = cold.view_classes(g);
+  const auto quotient = cold.quotient(g);
+  const auto y = cold.uxs(5);
+  const auto shr = cold.shrink(g, 0, 4);
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).writes, 1u);
+  EXPECT_EQ(disk->stats(Kind::kQuotients).writes, 1u);
+  EXPECT_EQ(disk->stats(Kind::kUxs).writes, 1u);
+  EXPECT_EQ(disk->stats(Kind::kShrink).writes, 1u);
+  const std::uint64_t verifications_after_cold =
+      uxs::corpus_verification_count();
+
+  // Warm pass through a FRESH memory cache (a second process, in
+  // effect): every kind is served from disk, values are identical, and
+  // — the acceptance bar — no UXS corpus verification runs.
+  cache::CacheConfig warm_config;
+  warm_config.disk = disk;
+  cache::ArtifactCache warm(warm_config);
+  EXPECT_EQ(warm.view_classes(g)->class_of, classes->class_of);
+  EXPECT_EQ(warm.quotient(g)->class_count(), quotient->class_count());
+  const auto y_warm = warm.uxs(5);
+  ASSERT_EQ(y_warm->length(), y->length());
+  EXPECT_TRUE(std::equal(y_warm->terms().begin(), y_warm->terms().end(),
+                         y->terms().begin(), y->terms().end()));
+  EXPECT_EQ(y_warm->provenance(), y->provenance());
+  const auto shr_warm = warm.shrink(g, 0, 4);
+  EXPECT_EQ(shr_warm->shrink, shr->shrink);
+  EXPECT_EQ(shr_warm->witness, shr->witness);
+
+  EXPECT_EQ(uxs::corpus_verification_count(), verifications_after_cold);
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).hits, 1u);
+  EXPECT_EQ(disk->stats(Kind::kQuotients).hits, 1u);
+  EXPECT_EQ(disk->stats(Kind::kUxs).hits, 1u);
+  EXPECT_EQ(disk->stats(Kind::kShrink).hits, 1u);
+  // And the memory tier now shields the disk: repeated requests add no
+  // disk traffic.
+  (void)warm.uxs(5);
+  EXPECT_EQ(disk->stats(Kind::kUxs).hits, 1u);
+}
+
+TEST(CacheStoreIntegration, CorruptStoreFileFallsBackToRecompute) {
+  auto disk = std::make_shared<DiskStore>(
+      DiskConfig{fresh_dir("fallback"), kDefaultBuildSalt, false});
+  const graph::Graph g = families::oriented_ring(6);
+  const cache::GraphFingerprint fp = cache::fingerprint(g);
+
+  cache::CacheConfig config;
+  config.disk = disk;
+  {
+    cache::ArtifactCache cache(config);
+    (void)cache.view_classes(g);
+  }
+  // Corrupt the stored artifact file.
+  std::string path;
+  for (const auto& entry : fs::recursive_directory_iterator(
+           disk->config().root)) {
+    if (entry.is_regular_file()) path = entry.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  write_file(path, "corrupted beyond recognition");
+
+  cache::ArtifactCache again(config);
+  const auto recomputed = again.view_classes(g, fp);
+  EXPECT_EQ(recomputed->class_of,
+            views::compute_view_classes(g).class_of);
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).corrupt, 1u);
+  // The recompute healed the file on disk: a third cache hits it.
+  cache::ArtifactCache healed(config);
+  (void)healed.view_classes(g, fp);
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).hits, 1u);
+}
+
+TEST(CacheStoreIntegration, DisabledMemoryTierStillReadsThrough) {
+  auto disk = std::make_shared<DiskStore>(
+      DiskConfig{fresh_dir("nomem"), kDefaultBuildSalt, false});
+  cache::CacheConfig config;
+  config.enabled = false;
+  config.disk = disk;
+  cache::ArtifactCache cache(config);
+  const graph::Graph g = families::path_graph(5);
+  const auto a = cache.view_classes(g);
+  const auto b = cache.view_classes(g);
+  EXPECT_EQ(a->class_of, b->class_of);
+  // First request computed + wrote; the second was served from disk.
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).writes, 1u);
+  EXPECT_EQ(disk->stats(Kind::kViewClasses).hits, 1u);
+}
+
+// ---- result log -----------------------------------------------------
+
+ResultRecord sample_record(int i) {
+  ResultRecord r;
+  r.experiment_id = "exp_" + std::to_string(i);
+  r.scale = "smoke";
+  r.wall_micros = 1000u + static_cast<std::uint64_t>(i);
+  r.items_total = 4;
+  r.items_produced = 3;
+  r.headers = {"graph", "value"};
+  r.rows = {{"ring(6)", std::to_string(i)},
+            {"path(5)", "x,y|z\"quoted\""},
+            {"", ""}};
+  return r;
+}
+
+TEST(ResultLog, RoundTripsRecords) {
+  const std::string path = fresh_dir("log") + "/results.rdvl";
+  {
+    ResultLogWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) writer.append(sample_record(i));
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer.records_written(), 3u);
+  }
+  const std::vector<ResultRecord> read = read_result_log(path);
+  ASSERT_EQ(read.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(encode_result_record(read[static_cast<std::size_t>(i)]),
+              encode_result_record(sample_record(i)));
+  }
+}
+
+TEST(ResultLog, EmptyLogIsValid) {
+  const std::string path = fresh_dir("logempty") + "/results.rdvl";
+  { ResultLogWriter writer(path); }
+  EXPECT_TRUE(read_result_log(path).empty());
+}
+
+TEST(ResultLog, DetectsTruncationCorruptionAndBadHeader) {
+  const std::string path = fresh_dir("logbad") + "/results.rdvl";
+  {
+    ResultLogWriter writer(path);
+    for (int i = 0; i < 2; ++i) writer.append(sample_record(i));
+  }
+  const std::string bytes = read_file(path);
+
+  // Tail truncation (torn final record).
+  write_file(path, bytes.substr(0, bytes.size() - 5));
+  EXPECT_THROW(read_result_log(path), CodecError);
+
+  // One flipped byte in the middle of a record.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] =
+      static_cast<char>(flipped[bytes.size() / 2] ^ 0x01);
+  write_file(path, flipped);
+  EXPECT_THROW(read_result_log(path), CodecError);
+
+  // Foreign magic / version.
+  write_file(path, "JUNK" + bytes.substr(4));
+  EXPECT_THROW(read_result_log(path), CodecError);
+  std::string wrong_version = bytes;
+  wrong_version[4] = static_cast<char>(kResultLogVersion + 1);
+  write_file(path, wrong_version);
+  EXPECT_THROW(read_result_log(path), CodecError);
+
+  // Missing file.
+  EXPECT_THROW(read_result_log(path + ".nope"), CodecError);
+}
+
+}  // namespace
+}  // namespace rdv::store

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
+#include "support/bench_json.hpp"
 #include "support/env.hpp"
 #include "support/saturating.hpp"
 #include "support/splitmix.hpp"
@@ -219,6 +223,48 @@ TEST(Env, FlagAndSizeParsing) {
   EXPECT_FALSE(env_flag("RDV_TEST_ENV"));
   EXPECT_EQ(env_string("RDV_TEST_ENV"), "");
   EXPECT_EQ(env_size_t("RDV_TEST_ENV", 7), 7u);
+}
+
+TEST(Env, StoreAndCensusKnobs) {
+  ASSERT_EQ(setenv("RDV_STORE_DIR", "/tmp/rdv-store-x", 1), 0);
+  ASSERT_EQ(setenv("RDV_STORE_SALT", "salt-x", 1), 0);
+  ASSERT_EQ(setenv("RDV_STORE_READONLY", "1", 1), 0);
+  ASSERT_EQ(setenv("REPRO_CENSUS", "1", 1), 0);
+  EXPECT_EQ(rdv_store_dir(), "/tmp/rdv-store-x");
+  EXPECT_EQ(rdv_store_salt(), "salt-x");
+  EXPECT_TRUE(rdv_store_readonly());
+  EXPECT_TRUE(repro_census());
+  // Same strict-"1" contract as REPRO_FULL.
+  ASSERT_EQ(setenv("REPRO_CENSUS", "true", 1), 0);
+  EXPECT_FALSE(repro_census());
+  ASSERT_EQ(unsetenv("RDV_STORE_DIR"), 0);
+  ASSERT_EQ(unsetenv("RDV_STORE_SALT"), 0);
+  ASSERT_EQ(unsetenv("RDV_STORE_READONLY"), 0);
+  ASSERT_EQ(unsetenv("REPRO_CENSUS"), 0);
+  EXPECT_EQ(rdv_store_dir(), "");
+  EXPECT_EQ(rdv_store_salt(), "");
+  EXPECT_FALSE(rdv_store_readonly());
+  EXPECT_FALSE(repro_census());
+}
+
+TEST(BenchJson, UpdateReplacesOwnLineAndPreservesOthers) {
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(update_bench_json(path, "micro_sweep",
+                                "{\"bench\":\"micro_sweep\",\"v\":1}"));
+  ASSERT_TRUE(update_bench_json(path, "rdv_bench",
+                                "{\"bench\":\"rdv_bench\",\"v\":2}"));
+  // Re-emitting one bench replaces only its own line.
+  ASSERT_TRUE(update_bench_json(path, "micro_sweep",
+                                "{\"bench\":\"micro_sweep\",\"v\":3}"));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"bench\":\"rdv_bench\",\"v\":2}");
+  EXPECT_EQ(lines[1], "{\"bench\":\"micro_sweep\",\"v\":3}");
+  std::remove(path.c_str());
 }
 
 TEST(Table, FormatHelpers) {
