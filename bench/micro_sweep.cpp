@@ -109,6 +109,64 @@ int main() {
   rdv::analysis::emit_table(
       "micro_sweep", "M2: sweep runner, sequential vs pooled", table);
 
+  // ---- M2b: pool scaling of the work-stealing scheduler --------------
+  // The same kernel on dedicated pools of 1..8 workers (deliberately
+  // past the core count: oversubscription must degrade gracefully, not
+  // collapse), plus a nested variant — an outer sweep whose kernel
+  // runs an inner sweep on the SAME pool, the t1/t2 shape that the
+  // work-assisting wait unlocked. One JSON datapoint per thread count.
+  struct ScalePoint {
+    std::size_t threads;
+    double flat_ms;
+    double nested_ms;
+  };
+  std::vector<ScalePoint> scaling;
+  rdv::support::Table scale_table(
+      {"threads", "flat best ms", "flat STICs/s", "nested best ms"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    rdv::support::ThreadPool pool(threads);
+    rdv::sweep::SweepConfig config;
+    config.pool = &pool;
+    config.chunk_size = 16;
+    const double flat_ms = best_of_ms(repeats, [&] {
+      (void)rdv::sweep::run_stic_sweep(stics, kernel, config);
+    });
+    // Nested: outer cases fan out on the pool AND each runs a chunked
+    // inner sweep on it (blocking, work-assisting).
+    rdv::sweep::SweepConfig outer_config = config;
+    outer_config.chunk_size = 1;
+    const std::size_t outer_cases = 8;
+    const std::size_t inner_span = stics.size();
+    const std::function<std::uint64_t(std::size_t)> outer_case =
+        [&](std::size_t) {
+          const std::function<std::uint64_t(std::size_t)> inner =
+              [&](std::size_t i) {
+                const auto check = rdv::analysis::verify_stic(
+                    g, classes, stics[i], program, run_config);
+                return check.run.met ? check.run.meet_round_absolute : 0;
+              };
+          const std::vector<std::uint64_t> rounds =
+              rdv::sweep::sweep_map<std::uint64_t>(inner_span, inner,
+                                                   config);
+          std::uint64_t sum = 0;
+          for (const std::uint64_t r : rounds) sum += r;
+          return sum;
+        };
+    const double nested_ms = best_of_ms(repeats, [&] {
+      (void)rdv::sweep::sweep_map<std::uint64_t>(outer_cases, outer_case,
+                                                 outer_config);
+    });
+    scaling.push_back(ScalePoint{threads, flat_ms, nested_ms});
+    scale_table.add_row({std::to_string(threads),
+                         rdv::support::format_double(flat_ms, 3),
+                         rate(flat_ms, stics.size()),
+                         rdv::support::format_double(nested_ms, 3)});
+  }
+  rdv::analysis::emit_table(
+      "micro_sweep_scaling",
+      "M2b: work-stealing pool scaling, flat and nested sweeps",
+      scale_table);
+
   // ---- M3: uncached vs cached per-graph artifact resolution ----------
   // A small set of distinct graphs, each appearing in many cases: the
   // shape of every T-series sweep. The kernel resolves the graph's view
@@ -234,7 +292,15 @@ int main() {
        << (cached_ms > 0 ? uncached_ms / cached_ms : 0)
        << ",\"cache_hits\":" << cache_stats.total_hits()
        << ",\"cache_misses\":" << cache_stats.total_misses()
-       << ",\"cache_bytes\":" << cache_stats.total_bytes() << "}";
+       << ",\"cache_bytes\":" << cache_stats.total_bytes()
+       << ",\"scaling\":[";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "{\"threads\":" << scaling[i].threads
+         << ",\"flat_ms\":" << scaling[i].flat_ms
+         << ",\"nested_ms\":" << scaling[i].nested_ms << "}";
+  }
+  json << "]}";
   // JSON-lines update: other benches' datapoints (rdv_bench's
   // per-experiment timings) sharing this file are preserved.
   if (!rdv::support::update_bench_json(json_path, "micro_sweep",

@@ -305,9 +305,6 @@ void print_describe(const std::vector<const Experiment*>& selected) {
       std::printf("  axis: %s\n", axis.c_str());
     }
     std::printf("  columns: %s\n", join(e->headers, " | ").c_str());
-    if (e->nested_sweep) {
-      std::printf("  execution: serial cases, parallel inner sweeps\n");
-    }
     std::printf("\n");
   }
 }

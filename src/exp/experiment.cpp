@@ -14,26 +14,20 @@ ExpOutput run_experiment(const Experiment& experiment,
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<CaseFn> cases = experiment.cases(ctx);
   ExpOutput output{support::Table(experiment.headers), {}, {}};
-  std::vector<std::vector<std::string>> rows;
-  if (experiment.nested_sweep) {
-    // The kernels sweep on the pool themselves; running them as pool
-    // tasks would block workers on nested waits. Serial outer loop,
-    // parallel inner sweeps — same rows either way.
-    rows.reserve(cases.size());
-    for (const CaseFn& kernel : cases) rows.push_back(kernel(ctx));
-    output.stats.items_total = cases.size();
-  } else {
-    // One case per chunk: cases are heavyweight (each renders a whole
-    // row of simulations/searches), so per-case scheduling is the right
-    // granularity no matter what chunk size the caller tuned for the
-    // kernels' own inner sweeps.
-    sweep::SweepConfig per_case = ctx.sweep;
-    per_case.chunk_size = 1;
-    rows = sweep::sweep_map<std::vector<std::string>>(
-        cases.size(),
-        [&](std::size_t i) { return cases[i](ctx); }, per_case, {},
-        &output.stats);
-  }
+  // One case per chunk: cases are heavyweight (each renders a whole
+  // row of simulations/searches), so per-case scheduling is the right
+  // granularity no matter what chunk size the caller tuned for the
+  // kernels' own inner sweeps. Kernels that sweep on the pool
+  // themselves (t1/t2) fan out here too: TaskGroup::wait is
+  // work-assisting, so a nested sweep blocking inside a pool task
+  // executes its own chunks instead of deadlocking the worker.
+  sweep::SweepConfig per_case = ctx.sweep;
+  per_case.chunk_size = 1;
+  std::vector<std::vector<std::string>> rows =
+      sweep::sweep_map<std::vector<std::string>>(
+          cases.size(),
+          [&](std::size_t i) { return cases[i](ctx); }, per_case, {},
+          &output.stats);
   for (std::vector<std::string>& row : rows) {
     if (!row.empty()) output.table.add_row(std::move(row));
   }
@@ -93,8 +87,6 @@ EmitOptions emit_options_from_env() {
   return options;
 }
 
-namespace {
-
 bool write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path);
   if (!out) {
@@ -102,10 +94,14 @@ bool write_file(const std::string& path, const std::string& contents) {
     return false;
   }
   out << contents;
+  // A disk-full short write surfaces here, not at open: only a clean
+  // flush may report the path as successfully emitted.
+  if (!out.flush().good()) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
   return true;
 }
-
-}  // namespace
 
 std::vector<std::string> emit(const Experiment& experiment,
                               const ExpOutput& output,

@@ -60,9 +60,11 @@ struct ExpContext {
   }
 };
 
-/// Computes one table row. Must be thread-safe: unless the experiment
-/// sets `nested_sweep`, cases execute concurrently on pool workers. An
-/// empty return means "no row" (the case is skipped in the table).
+/// Computes one table row. Must be thread-safe: cases execute
+/// concurrently on pool workers (including cases that run nested
+/// sweeps — pool waits are work-assisting, so blocking on an inner
+/// sweep from a pool task is safe). An empty return means "no row"
+/// (the case is skipped in the table).
 using CaseFn = std::function<std::vector<std::string>(const ExpContext&)>;
 
 /// Declarative description of one experiment.
@@ -87,12 +89,6 @@ struct Experiment {
   /// Optional note lines printed after the table (the old trailing
   /// printf commentary).
   std::function<std::vector<std::string>(const ExpContext&)> notes;
-  /// True when the kernels themselves run sweeps on the pool
-  /// (run_stic_sweep / feasibility_sweep): the runner then executes
-  /// cases serially in index order — nesting a blocking sweep wait
-  /// inside a pool task could deadlock the pool — and the inner sweeps
-  /// provide the parallelism.
-  bool nested_sweep = false;
 };
 
 struct ExpOutput {
@@ -151,6 +147,11 @@ struct EmitOptions {
 
 /// csv_dir/json_dir from REPRO_CSV_DIR / REPRO_JSON_DIR.
 [[nodiscard]] EmitOptions emit_options_from_env();
+
+/// Writes contents to path, reporting success only when the stream
+/// flushed clean — a disk-full short write must not claim an emitted
+/// file. Exposed so tests can drive the failure paths directly.
+bool write_file(const std::string& path, const std::string& contents);
 
 /// Emits one experiment's output; returns the file paths written.
 std::vector<std::string> emit(const Experiment& experiment,

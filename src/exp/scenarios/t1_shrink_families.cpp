@@ -4,9 +4,10 @@
 //     at arbitrary distance.
 //
 // Each graph is one case whose kernel sweeps the graph's symmetric
-// pairs on sweep::run_stic_sweep (nested_sweep: the outer case loop is
-// serial, the per-pair Shrink product BFS runs chunked on the pool);
-// the view partition is resolved once per graph through the cache.
+// pairs on sweep::run_stic_sweep: the outer case loop fans out on the
+// pool AND the per-pair Shrink product BFS runs chunked on the same
+// pool (work-assisting waits make the nesting safe); the view
+// partition is resolved once per graph through the cache.
 #include <algorithm>
 #include <memory>
 
@@ -78,7 +79,6 @@ void register_t1(Registry& registry) {
                "max distance", "max Shrink",
                "Shrink==dist everywhere?", "Shrink==1 everywhere?"};
   e.tags = {"table", "shrink", "feasibility"};
-  e.nested_sweep = true;
   e.cases = [](const ExpContext& ctx) {
     auto graphs = std::make_shared<std::vector<Graph>>();
     graphs->push_back(families::oriented_torus(3, 3));

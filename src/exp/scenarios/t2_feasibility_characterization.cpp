@@ -1,8 +1,9 @@
 // T2 — Corollary 3.1: a STIC [(u,v), delta] is feasible iff the nodes
 // are nonsymmetric, or symmetric with delta >= Shrink(u, v).
 // Cross-checks the predicate against full UniversalRV simulations over
-// every ordered STIC of each graph on the sharded sweep runner
-// (nested_sweep: feasibility_sweep parallelizes inside each case).
+// every ordered STIC of each graph on the sharded sweep runner; the
+// outer case loop runs on the pool and feasibility_sweep parallelizes
+// inside each case (nested on the same pool via work-assisting waits).
 #include <memory>
 
 #include "core/universal_rv.hpp"
@@ -39,7 +40,6 @@ void register_t2(Registry& registry) {
   e.headers = {"graph",      "STICs",      "feasible",
                "infeasible", "sim agrees", "inconsistencies"};
   e.tags = {"table", "feasibility", "universal"};
-  e.nested_sweep = true;
   e.cases = [](const ExpContext& ctx) {
     auto cases = std::make_shared<std::vector<Case>>();
     cases->push_back({families::two_node_graph(), 2, 60, 1u << 22});

@@ -1,6 +1,11 @@
 #include "store/disk_store.hpp"
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <fcntl.h>
 #include <unistd.h>
+#endif
 
 #include <algorithm>
 #include <filesystem>
@@ -27,6 +32,67 @@ std::optional<std::string> read_file(const std::string& path) {
   buffer << in.rdbuf();
   if (!in.good() && !in.eof()) return std::nullopt;
   return std::move(buffer).str();
+}
+
+using FailStage = std::function<bool(const char*)>;
+
+bool stage_fails(const FailStage& fail, const char* stage) {
+  return fail && fail(stage);
+}
+
+/// Writes `bytes` to `path` and forces the DATA to the device before
+/// returning true — the rename that follows only orders metadata, so
+/// skipping the fsync could publish a zero-length or partial final
+/// file after a crash. Any stage failing (or being injected as a
+/// failure by the test hook) leaves the caller free to unlink the temp
+/// and report a write failure; the rename must not happen.
+bool write_durable(const std::string& path, const std::string& bytes,
+                   const FailStage& fail) {
+#if defined(_WIN32)
+  // No fsync here: degrade to flush-then-rename (crash-safety weakens
+  // to "torn files are caught by the checksum on load"). The stage
+  // sequence stays open;write;sync;close so the injection hook (and
+  // the store_test pinning it) behaves identically.
+  bool ok;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out || stage_fails(fail, "open")) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ok = out.good() && !stage_fails(fail, "write");
+    out.flush();
+    if (ok && (!out.good() || stage_fails(fail, "sync"))) ok = false;
+  }
+  return ok && !stage_fails(fail, "close");
+#else
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0 || stage_fails(fail, "open")) {
+    if (fd >= 0) ::close(fd);
+    return false;
+  }
+  bool ok = true;
+  std::size_t written = 0;
+  while (ok && written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ok = false;
+    } else {
+      written += static_cast<std::size_t>(n);
+    }
+  }
+  if (stage_fails(fail, "write")) ok = false;
+  if (ok && (::fsync(fd) != 0 || stage_fails(fail, "sync"))) ok = false;
+  if (::close(fd) != 0 || stage_fails(fail, "close")) ok = false;
+  return ok;
+#endif
+}
+
+long process_id() {
+#if defined(_WIN32)
+  return static_cast<long>(::_getpid());
+#else
+  return static_cast<long>(::getpid());
+#endif
 }
 
 }  // namespace
@@ -114,24 +180,15 @@ bool DiskStore::save(Kind kind, const std::string& key,
   // — threads, several stores on one dir, and other processes — from
   // colliding on the temp name.
   std::ostringstream temp_name;
-  temp_name << final_path << ".tmp." << ::getpid() << "."
+  temp_name << final_path << ".tmp." << process_id() << "."
             << reinterpret_cast<std::uintptr_t>(this) << "."
             << temp_seq_.fetch_add(1, std::memory_order_relaxed);
   const std::string temp_path = temp_name.str();
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      s.write_failures.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      s.write_failures.fetch_add(1, std::memory_order_relaxed);
-      std::error_code ec;
-      fs::remove(temp_path, ec);
-      return false;
-    }
+  if (!write_durable(temp_path, bytes, config_.fail_stage)) {
+    s.write_failures.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    fs::remove(temp_path, ec);
+    return false;
   }
   std::error_code ec;
   fs::rename(temp_path, final_path, ec);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,9 +20,13 @@
 /// truncation, a stale format version, a different build salt, a hash
 /// collision on the key — degrades to a miss so the caller recomputes
 /// (and rewrites) instead of trusting stale bytes. Writes are
-/// write-temp-then-rename: a crash mid-write leaves at most a stray
+/// write-temp-fsync-then-rename: the temp file's data reaches the
+/// device BEFORE the rename makes it visible (a rename alone only
+/// orders metadata — a crash could otherwise publish a zero-length or
+/// partial final file), so a crash mid-write leaves at most a stray
 /// temp file, never a torn final file, and two processes racing on one
-/// key atomically settle on one complete file.
+/// key atomically settle on one complete file. On platforms without
+/// fsync the write degrades to flush-then-rename.
 namespace rdv::store {
 
 /// On-disk format version; bump when the header or any codec changes.
@@ -57,6 +62,12 @@ struct DiskConfig {
   std::string build_salt = kDefaultBuildSalt;
   /// When true, save() is a no-op (shared stores on read-only media).
   bool read_only = false;
+  /// Test-only failure injection: called at each durable-write stage
+  /// ("open", "write", "sync", "close"); returning true fails that
+  /// stage. Lets tests pin that the temp file is never renamed into
+  /// place unless every stage — including the pre-rename fsync — came
+  /// back clean, without needing a real disk fault.
+  std::function<bool(const char* stage)> fail_stage;
 };
 
 /// Thread-safe (and multi-process-safe: atomicity comes from POSIX

@@ -4,77 +4,196 @@
 
 namespace rdv::support {
 
+namespace {
+
+/// Identifies the pool (and worker slot) the calling thread belongs to,
+/// so submit() can target the worker's own deque and try_pop() knows
+/// where "own" is. Null on external threads and inside assist_until
+/// callers that are not workers.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(sleep_mutex_);
     stopping_ = true;
+    ++epoch_;
   }
-  cv_task_.notify_all();
+  cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
-    ++in_flight_;
+std::size_t ThreadPool::self_index() const noexcept {
+  return tl_pool == this ? tl_index : kExternal;
+}
+
+void ThreadPool::submit(std::function<void()> task, const void* tag) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t self = self_index();
+  if (self != kExternal) {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard lock(q.mutex);
+    q.tasks.push_back(Task{std::move(task), tag});
+  } else {
+    std::lock_guard lock(shared_mutex_);
+    shared_.push_back(Task{std::move(task), tag});
   }
-  cv_task_.notify_one();
+  bump_epoch();
+}
+
+void ThreadPool::bump_epoch() {
+  std::lock_guard lock(sleep_mutex_);
+  ++epoch_;
+  if (sleepers_ != 0) cv_.notify_all();
+}
+
+std::uint64_t ThreadPool::epoch() const {
+  std::lock_guard lock(sleep_mutex_);
+  return epoch_;
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
+  // Own deque, newest first, any tag: entries here were submitted by
+  // the task this worker is currently running (its descendants), so a
+  // nested sweep's just-submitted chunks are still cache-hot and LIFO
+  // keeps the nesting stack shallow.
+  if (self != kExternal) {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  const auto matches = [tag](const Task& t) {
+    return tag == nullptr || t.tag == tag;
+  };
+  {
+    std::lock_guard lock(shared_mutex_);
+    for (auto it = shared_.begin(); it != shared_.end(); ++it) {
+      if (matches(*it)) {
+        task = std::move(*it);
+        shared_.erase(it);
+        return true;
+      }
+    }
+  }
+  // Steal oldest-first from the other workers, round-robin from the
+  // slot after our own so one victim is not hammered by everyone.
+  const std::size_t n = queues_.size();
+  const std::size_t start = self != kExternal ? self + 1 : 0;
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t victim = (start + offset) % n;
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard lock(q.mutex);
+    for (auto it = q.tasks.begin(); it != q.tasks.end(); ++it) {
+      if (matches(*it)) {
+        task = std::move(*it);
+        q.tasks.erase(it);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(Task& task) {
+  task.fn();
+  task.fn = nullptr;  // release captures before announcing completion
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  bump_epoch();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_index = index;
+  for (;;) {
+    // Epoch read BEFORE the scan: a task enqueued after the scan bumps
+    // the epoch past `seen`, so the wait below returns immediately
+    // instead of missing it.
+    const std::uint64_t seen = epoch();
+    Task task;
+    if (try_pop(index, task, nullptr)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    if (stopping_) return;  // every queue drained
+    ++sleepers_;
+    cv_.wait(lock, [&] { return epoch_ != seen || stopping_; });
+    --sleepers_;
+  }
+}
+
+void ThreadPool::assist_until(const std::function<bool()>& done,
+                              const void* tag) {
+  // Only pool workers assist. A worker that parked would starve the
+  // very tasks it waits on (the nested-sweep deadlock); an external
+  // thread parking is safe — the workers make progress without it —
+  // and assisting would be WRONG: it could pick up an unrelated task
+  // that blocks on an event its submitter signals only after this wait
+  // returns (e.g. a test gating a task on a promise). The tag narrows
+  // shared-queue/steal pops to the awaited batch for the same reason.
+  const std::size_t self = self_index();
+  for (;;) {
+    if (done()) return;
+    const std::uint64_t seen = epoch();
+    Task task;
+    if (self != kExternal && try_pop(self, task, tag)) {
+      run_task(task);
+      continue;
+    }
+    // Nothing runnable here: every task we are waiting on is queued
+    // for or executing on some other thread. Sleep until anything is
+    // submitted or completes (both bump the epoch), then re-check.
+    if (done()) return;
+    std::unique_lock lock(sleep_mutex_);
+    ++sleepers_;
+    cv_.wait(lock, [&] { return epoch_ != seen; });
+    --sleepers_;
+  }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
-}
-
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      if (--in_flight_ == 0) cv_idle_.notify_all();
-    }
-  }
-}
-
-void TaskGroup::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    ++pending_;
-  }
-  pool_.submit([this, task = std::move(task)] {
-    task();
-    std::lock_guard lock(mutex_);
-    if (--pending_ == 0) cv_done_.notify_all();
+  assist_until([this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
   });
 }
 
-void TaskGroup::wait() {
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
+void TaskGroup::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit(
+      [this, task = std::move(task)] {
+        task();
+        // The pool bumps its wake epoch right after this wrapper
+        // returns, so a waiter parked in assist_until re-reads
+        // pending() then.
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+      },
+      tag());
 }
 
-std::size_t TaskGroup::pending() const {
-  std::lock_guard lock(mutex_);
-  return pending_;
+void TaskGroup::wait() {
+  pool_.assist_until([this] { return pending() == 0; }, tag());
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -1,20 +1,42 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
-/// Minimal work-stealing-free thread pool + parallel_for used by the
-/// experiment sweeps (STIC enumeration, feasibility cross-checks).
+/// Work-stealing thread pool + parallel_for used by the experiment
+/// sweeps (STIC enumeration, feasibility cross-checks).
+///
+/// Topology: one deque per worker plus one shared queue for external
+/// submitters. A worker pushes its own submissions onto its own deque
+/// and pops them LIFO (nested-sweep locality); when its deque is empty
+/// it drains the shared queue, then steals FIFO from the other workers,
+/// and only sleeps when nothing anywhere is runnable.
+///
+/// Blocking waits issued FROM POOL WORKERS are WORK-ASSISTING
+/// (`assist_until`): instead of parking, the waiting worker pops and
+/// executes pool tasks — its own deque first, then the shared queue,
+/// then steals — until its predicate holds. A pool task may therefore
+/// submit sub-tasks and block on their completion (`TaskGroup::wait`)
+/// without deadlocking the pool: the blocked worker executes the very
+/// tasks it is waiting for. This is what lets nested sweeps (an
+/// experiment case running sweep_map inside a pool task) fan out
+/// instead of serializing. External threads park instead of helping —
+/// they may not run pool tasks, which can block on events only their
+/// submitter delivers.
 ///
 /// Design notes (per C++ Core Guidelines CP.*): tasks are plain
 /// std::function<void()>; the pool owns its threads (RAII, joined in the
-/// destructor); no detached threads; no shared mutable state beyond the
-/// queue, guarded by a single mutex.
+/// destructor); no detached threads. Wakeups go through one epoch
+/// counter + condition variable: every submit and every completion
+/// bumps the epoch, and sleepers re-scan whenever it moves, so a task
+/// enqueued between a scan and the sleep can never be missed.
 namespace rdv::support {
 
 class ThreadPool {
@@ -27,25 +49,90 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Tasks must not throw; exceptions terminate.
-  void submit(std::function<void()> task);
+  /// Called from a pool worker, the task lands on that worker's own
+  /// deque; otherwise on the shared queue. `tag` (never dereferenced)
+  /// marks which batch the task belongs to, so an assisting waiter can
+  /// restrict itself to the work it actually waits on.
+  void submit(std::function<void()> task, const void* tag = nullptr);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished (work-assisting
+  /// when called from a pool worker; runs tasks of ANY tag — it waits
+  /// for all of them anyway).
   void wait_idle();
+
+  /// Work-assisting wait: blocks until `done()` returns true. Called
+  /// from a pool worker, the worker pops and executes queued tasks
+  /// instead of parking (this is the deadlock fix: it drains the tasks
+  /// it would otherwise block on) — its own deque first (those are its
+  /// current task's descendants), then, RESTRICTED to tasks whose tag
+  /// matches `tag` (when non-null), the shared queue and steals from
+  /// the other workers. The restriction keeps an assisting worker from
+  /// nesting an unrelated heavyweight task inside the wait — unbounded
+  /// recursion over foreign work, or inheriting a task that blocks on
+  /// an event delivered only after this wait returns. Called from an
+  /// external thread it parks, waking on every submit/completion:
+  /// external threads must not execute pool tasks at all. `done` is
+  /// called with no locks held and must be thread-safe.
+  void assist_until(const std::function<bool()>& done,
+                    const void* tag = nullptr);
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
+  /// Tasks stolen from another worker's deque (monitoring/tests;
+  /// cumulative, scheduling-dependent).
+  [[nodiscard]] std::uint64_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    /// Batch identity for tag-restricted assists; never dereferenced.
+    const void* tag = nullptr;
+  };
+
+  /// One worker's deque. Owner pushes/pops at the back, thieves (other
+  /// workers, assisting waiters) pop at the front. unique_ptr keeps the
+  /// mutex address stable in the vector.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  static constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
+
+  void worker_loop(std::size_t index);
+  /// Pops one runnable task: own deque (when `self` is a worker index,
+  /// any tag — own-deque entries are the current task's descendants),
+  /// then the shared queue, then steals round-robin from the others.
+  /// When `tag` is non-null, shared-queue and steal pops take only
+  /// tasks carrying that tag.
+  bool try_pop(std::size_t self, Task& task, const void* tag);
+  /// Runs a popped task and publishes its completion (in-flight
+  /// decrement + epoch bump) so waiters re-check their predicates.
+  void run_task(Task& task);
+  /// Bumps the wake epoch and wakes sleepers; called after every
+  /// enqueue and every completion.
+  void bump_epoch();
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// The calling thread's worker index in THIS pool, or kExternal.
+  [[nodiscard]] std::size_t self_index() const noexcept;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex shared_mutex_;
+  std::deque<Task> shared_;
+  /// Sleep machinery: epoch_/sleepers_/stopping_ guarded by
+  /// sleep_mutex_; cv_ wakes on every epoch move.
+  mutable std::mutex sleep_mutex_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t sleepers_ = 0;
   bool stopping_ = false;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 /// Completion tracking for ONE batch of tasks on a shared pool.
@@ -53,9 +140,11 @@ class ThreadPool {
 /// ThreadPool::wait_idle() waits for the WHOLE pool — any concurrent
 /// sweep's tasks included — which over-synchronizes independent sweeps
 /// sharing default_pool(). A TaskGroup counts only the tasks submitted
-/// through it (counter + condition variable), so wait() returns as soon
-/// as this group's tasks are done, regardless of what else the pool is
-/// running. Reusable: after wait() returns, more tasks may be
+/// through it, so wait() returns as soon as this group's tasks are
+/// done, regardless of what else the pool is running. wait() is
+/// work-assisting (it executes pool tasks while the group drains), so
+/// it may be called from inside a pool task — nested sweeps cannot
+/// deadlock. Reusable: after wait() returns, more tasks may be
 /// submitted. The destructor waits for any still-pending tasks.
 class TaskGroup {
  public:
@@ -68,17 +157,23 @@ class TaskGroup {
   /// Enqueue a task on the pool, counted against this group.
   void submit(std::function<void()> task);
 
-  /// Block until every task submitted through THIS group has finished.
+  /// Block until every task submitted through THIS group has finished,
+  /// executing pool tasks on the calling thread meanwhile.
   void wait();
 
   /// Tasks submitted but not yet finished (monitoring/tests).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Identity of this group's tasks on the pool — pass to
+  /// ThreadPool::assist_until when waiting on a condition this group's
+  /// tasks establish (e.g. the sweep runner's per-chunk slots).
+  [[nodiscard]] const void* tag() const noexcept { return this; }
 
  private:
   ThreadPool& pool_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_done_;
-  std::size_t pending_ = 0;
+  std::atomic<std::size_t> pending_{0};
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool with contiguous

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -14,18 +15,24 @@
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
-/// Sharded, batched sweep runner — the substrate for the experiment
+/// Sharded, pipelined sweep runner — the substrate for the experiment
 /// sweeps (STIC enumeration, feasibility cross-checks, rendezvous-time
 /// tables).
 ///
 /// The index space is partitioned into contiguous chunks; chunks
 /// execute on a support::ThreadPool and results are merged BY CHUNK
 /// INDEX, never by completion order, so the output is byte-identical
-/// for any thread count. Early-exit predicates are evaluated on the
-/// merged stream in index order: the result is truncated right after
-/// the first item matching the predicate, and no further chunk wave is
-/// scheduled (chunks of the in-flight wave may still run; their output
-/// past the trigger is discarded, keeping determinism).
+/// for any thread count. Scheduling and merging are PIPELINED: the
+/// merge loop waits (work-assisting, so a nested sweep inside a pool
+/// task cannot deadlock) for the front chunk only, merges it while
+/// later chunks are still executing, and — when an early-exit
+/// predicate bounds the sweep — tops the in-flight window back up one
+/// chunk per merged chunk, so wave k+1 runs while wave k's output is
+/// consumed. Early-exit predicates are evaluated on the merged stream
+/// in index order: the result is truncated right after the first item
+/// matching the predicate, no further chunk is scheduled, in-flight
+/// chunks observe the stop flag and skip their remaining kernel calls,
+/// and every discarded chunk buffer is released before return.
 namespace rdv::sweep {
 
 struct SweepConfig {
@@ -35,8 +42,9 @@ struct SweepConfig {
   /// Pool to run on; nullptr uses support::default_pool(). The runner
   /// tracks its own chunks with a support::TaskGroup, so independent
   /// sweeps may share one pool without waiting on each other; kernels
-  /// must still not BLOCK on the same pool (fire-and-forget submits are
-  /// fine).
+  /// may themselves run nested sweeps (or otherwise block on the same
+  /// pool via TaskGroup::wait) — waits are work-assisting, so the
+  /// blocked worker executes the tasks it is waiting for.
   support::ThreadPool* pool = nullptr;
   /// Per-graph artifact cache used by the kernels the sweep layer
   /// builds itself (e.g. feasibility_sweep's view classes); nullptr
@@ -89,48 +97,85 @@ std::vector<R> sweep_map(std::size_t n,
   local.items_total = n;
   local.chunks_total = chunks;
 
-  // Without an early-exit predicate every chunk is one wave; with one,
-  // waves span a few chunks per worker so a hit near the front does not
-  // pay for the whole space.
-  const std::size_t wave_span =
+  // Without an early-exit predicate the whole index space is scheduled
+  // upfront; with one, a sliding window a few chunks per worker wide is
+  // kept in flight so a hit near the front does not pay for the whole
+  // space. Either way the merge loop runs concurrently with execution.
+  const std::size_t window =
       stop_when ? std::max<std::size_t>(1, pool.thread_count() * 2) : chunks;
 
   std::vector<std::vector<R>> chunk_out(chunks);
+  // Completion slots: a chunk task fills chunk_out[c], then publishes
+  // it with a release store the merge loop acquires — the only
+  // synchronization the pipeline needs besides the pool's own.
+  std::vector<std::atomic<bool>> chunk_done(chunks);
+  // Set when the early-exit predicate fires. In-flight chunks poll it
+  // per item and bail out: everything they would produce is past the
+  // stop index and discarded anyway, so skipping keeps the output
+  // byte-identical while releasing their buffers early.
+  std::atomic<bool> stop_flag{false};
   std::vector<R> merged;
   merged.reserve(n);
   // Per-sweep completion tracking: the group counts only this sweep's
   // chunks, so concurrent sweeps sharing the pool never wait on each
   // other (ThreadPool::wait_idle would wait for the whole pool).
   support::TaskGroup group(pool);
+  const auto schedule = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    std::vector<R>* out = &chunk_out[c];
+    std::atomic<bool>* done = &chunk_done[c];
+    group.submit([lo, hi, out, done, &fn, &stop_flag] {
+      out->reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (stop_flag.load(std::memory_order_relaxed)) {
+          std::vector<R>().swap(*out);
+          break;
+        }
+        out->push_back(fn(i));
+      }
+      done->store(true, std::memory_order_release);
+    });
+    ++local.chunks_scheduled;
+  };
   std::size_t next_chunk = 0;
+  for (; next_chunk < std::min(chunks, window); ++next_chunk) {
+    schedule(next_chunk);
+  }
   bool stopped = false;
-  while (next_chunk < chunks && !stopped) {
-    const std::size_t wave_end = std::min(chunks, next_chunk + wave_span);
-    for (std::size_t c = next_chunk; c < wave_end; ++c) {
-      const std::size_t lo = c * chunk_size;
-      const std::size_t hi = std::min(n, lo + chunk_size);
-      std::vector<R>* out = &chunk_out[c];
-      group.submit([lo, hi, out, &fn] {
-        out->reserve(hi - lo);
-        for (std::size_t i = lo; i < hi; ++i) out->push_back(fn(i));
-      });
-    }
-    local.chunks_scheduled += wave_end - next_chunk;
-    group.wait();
-    for (std::size_t c = next_chunk; c < wave_end && !stopped; ++c) {
-      for (R& r : chunk_out[c]) {
+  // next_chunk grows inside the loop as the window refills, so the
+  // bound re-reads it: the loop drains every chunk ever scheduled.
+  for (std::size_t front = 0; front < next_chunk; ++front) {
+    // Tagged with the group: an assisting worker runs only this
+    // sweep's chunks (plus its own deque's descendants), never an
+    // unrelated task that could block or nest arbitrarily deep.
+    pool.assist_until(
+        [&chunk_done, front] {
+          return chunk_done[front].load(std::memory_order_acquire);
+        },
+        group.tag());
+    if (!stopped) {
+      for (R& r : chunk_out[front]) {
         merged.push_back(std::move(r));
         if (stop_when && stop_when(merged.back())) {
           local.stopped_early = true;
           local.stop_index = merged.size() - 1;
           stopped = true;
+          stop_flag.store(true, std::memory_order_relaxed);
           break;
         }
       }
-      chunk_out[c].clear();
     }
-    next_chunk = wave_end;
+    // Swap-with-empty, not clear(): merged chunks would otherwise keep
+    // their capacity and discarded chunks (the early-exit trigger and
+    // everything scheduled past it) their full contents until return.
+    std::vector<R>().swap(chunk_out[front]);
+    if (!stopped && next_chunk < chunks) {
+      schedule(next_chunk);
+      ++next_chunk;
+    }
   }
+  group.wait();  // defensive: every scheduled chunk is already done
   local.items_produced = merged.size();
   if (stats != nullptr) *stats = local;
   return merged;

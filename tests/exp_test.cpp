@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -105,31 +107,41 @@ TEST(RunExperiment, MergesRowsInCaseOrderAndSkipsEmpty) {
 }
 
 /// The acceptance bar for the registry port: every registered
-/// experiment's rendered output is byte-identical at 1 vs N threads and
-/// with the artifact cache enabled, disabled, and eviction-thrashed —
-/// the same contract cache_test.cpp pins for raw sweeps.
-TEST(ExpDeterminism, ByteIdenticalAcrossThreadsAndCacheConfigs) {
+/// experiment's rendered output is byte-identical at 1 vs N threads
+/// (including an oversubscribed 16-thread pool driving the pipelined
+/// scheduler with tiny chunks, so inner sweeps span many wave slots —
+/// and with every case on the pool, t1/t2's nested sweeps included)
+/// and with the artifact cache enabled, disabled, and
+/// eviction-thrashed — the same contract cache_test.cpp pins for raw
+/// sweeps.
+TEST(ExpDeterminism, ByteIdenticalAcrossThreadsChunksAndCacheConfigs) {
   cache::CacheConfig off;
   off.enabled = false;
   cache::CacheConfig tiny;  // force evictions mid-experiment
   tiny.shards = 1;
   tiny.capacity_per_shard = 1;
+  struct Schedule {
+    std::size_t threads;
+    std::size_t chunk;  // 0 = the default chunk size
+  };
+  const Schedule schedules[] = {{1, 0}, {4, 0}, {16, 2}};
   for (const Experiment& e : builtin_registry().all()) {
     SCOPED_TRACE(e.id);
     std::vector<std::string> outputs;
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const Schedule& schedule : schedules) {
       for (const cache::CacheConfig& config :
            {cache::CacheConfig{}, off, tiny}) {
         cache::ArtifactCache cache(config);
-        support::ThreadPool pool(threads);
+        support::ThreadPool pool(schedule.threads);
         ExpContext ctx;
         ctx.scale = Scale::kSmoke;
         ctx.sweep.pool = &pool;
         ctx.sweep.cache = &cache;
+        if (schedule.chunk != 0) ctx.sweep.chunk_size = schedule.chunk;
         outputs.push_back(render(e, ctx));
       }
     }
-    ASSERT_EQ(outputs.size(), 6u);
+    ASSERT_EQ(outputs.size(), 9u);
     for (std::size_t i = 1; i < outputs.size(); ++i) {
       EXPECT_EQ(outputs[0], outputs[i]) << "variant " << i;
     }
@@ -147,6 +159,36 @@ TEST(ExpSmoke, EveryExperimentProducesRowsAtSmokeScale) {
     EXPECT_GE(output.table.row_count(), 1u);
     EXPECT_EQ(output.table.column_count(), e.headers.size());
   }
+}
+
+// A disk-full short write must be reported as a failure, not a
+// successfully emitted path: write_file's success is the stream state
+// AFTER the flush. /dev/full opens fine and fails on write — exactly
+// the ENOSPC shape — so use it where the platform provides it.
+TEST(Emit, WriteFileReportsShortWritesAndUnwritablePaths) {
+  const std::string ok_path = ::testing::TempDir() + "write_file_ok.txt";
+  EXPECT_TRUE(write_file(ok_path, "contents\n"));
+  // Unwritable: open fails (directory does not exist).
+  EXPECT_FALSE(write_file("/no/such/dir/out.csv", "x"));
+  // Exhausted device: open succeeds, the write itself is short.
+  std::error_code ec;
+  if (std::filesystem::exists("/dev/full", ec) && !ec) {
+    EXPECT_FALSE(write_file("/dev/full", "does not fit"));
+  }
+  std::remove(ok_path.c_str());
+}
+
+TEST(Emit, CheckCountsFilesOnlyWhenFlushedClean) {
+  const Experiment* e = builtin_registry().find("f1_qhat_construction");
+  ASSERT_NE(e, nullptr);
+  ExpContext ctx;
+  ctx.scale = Scale::kSmoke;
+  const ExpOutput output = run_experiment(*e, ctx);
+  EmitOptions options;
+  options.markdown = false;
+  options.csv_dir = "/no/such/dir";  // both writes fail at open
+  options.json_dir = "/no/such/dir";
+  EXPECT_TRUE(emit(*e, output, options).empty());
 }
 
 TEST(Emit, WritesCsvAndJsonFiles) {

@@ -262,6 +262,57 @@ TEST(DiskStore, ReadOnlyServesHitsWithoutWriting) {
   EXPECT_FALSE(fs::exists(reader.path_for(Kind::kUxs, "n9")));
 }
 
+// Crash-safety of the final file: the temp must never be renamed into
+// place unless every durable-write stage — write, the pre-rename
+// fsync, close — succeeded. A failure injected at each stage must
+// leave NO final file (not a zero-length or partial one) and no stray
+// temp, and count a write failure.
+TEST(DiskStore, TempFileIsNeverRenamedUnflushed) {
+  for (const char* failing_stage : {"open", "write", "sync", "close"}) {
+    SCOPED_TRACE(failing_stage);
+    DiskConfig config;
+    config.root = fresh_dir(std::string("unflushed_") + failing_stage);
+    std::string observed;
+    config.fail_stage = [&observed, failing_stage](const char* stage) {
+      observed += stage;
+      observed += ";";
+      return std::string_view(stage) == failing_stage;
+    };
+    DiskStore store(config);
+    EXPECT_FALSE(store.save(Kind::kUxs, "n7", "payload-bytes"));
+    EXPECT_EQ(store.stats(Kind::kUxs).write_failures, 1u);
+    EXPECT_EQ(store.stats(Kind::kUxs).writes, 0u);
+    // No final file at all — a torn rename-without-flush would have
+    // left one — and the temp was cleaned up.
+    EXPECT_FALSE(fs::exists(store.path_for(Kind::kUxs, "n7")));
+    std::size_t residue = 0;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(config.root)) {
+      if (entry.is_regular_file()) ++residue;
+    }
+    EXPECT_EQ(residue, 0u);
+    // The sync stage sits between write and close: flush-before-rename
+    // is on the path of every successful save.
+    if (std::string_view(failing_stage) == "close") {
+      EXPECT_EQ(observed, "open;write;sync;close;");
+    }
+  }
+  // With no injected failure the same sequence of stages runs and the
+  // save lands.
+  DiskConfig config;
+  config.root = fresh_dir("unflushed_none");
+  std::string observed;
+  config.fail_stage = [&observed](const char* stage) {
+    observed += stage;
+    observed += ";";
+    return false;
+  };
+  DiskStore store(config);
+  EXPECT_TRUE(store.save(Kind::kUxs, "n7", "payload-bytes"));
+  EXPECT_EQ(observed, "open;write;sync;close;");
+  EXPECT_TRUE(fs::exists(store.path_for(Kind::kUxs, "n7")));
+}
+
 TEST(DiskStore, UnusableRootDegradesGracefully) {
   DiskConfig config;
   // A root under a path that is a FILE cannot be created.
@@ -371,7 +422,7 @@ TEST(DiskStore, TwoProcessesWritingOneStoreDir) {
 
 TEST(CacheStoreIntegration, WarmCacheSkipsEveryRecomputeIncludingUxs) {
   auto disk = std::make_shared<DiskStore>(
-      DiskConfig{fresh_dir("twotier"), kDefaultBuildSalt, false});
+      DiskConfig{fresh_dir("twotier"), kDefaultBuildSalt, false, {}});
   const graph::Graph g = families::oriented_torus(3, 3);
 
   // Cold pass: one compute + one disk write per artifact kind.
@@ -419,7 +470,7 @@ TEST(CacheStoreIntegration, WarmCacheSkipsEveryRecomputeIncludingUxs) {
 
 TEST(CacheStoreIntegration, CorruptStoreFileFallsBackToRecompute) {
   auto disk = std::make_shared<DiskStore>(
-      DiskConfig{fresh_dir("fallback"), kDefaultBuildSalt, false});
+      DiskConfig{fresh_dir("fallback"), kDefaultBuildSalt, false, {}});
   const graph::Graph g = families::oriented_ring(6);
   const cache::GraphFingerprint fp = cache::fingerprint(g);
 
@@ -451,7 +502,7 @@ TEST(CacheStoreIntegration, CorruptStoreFileFallsBackToRecompute) {
 
 TEST(CacheStoreIntegration, DisabledMemoryTierStillReadsThrough) {
   auto disk = std::make_shared<DiskStore>(
-      DiskConfig{fresh_dir("nomem"), kDefaultBuildSalt, false});
+      DiskConfig{fresh_dir("nomem"), kDefaultBuildSalt, false, {}});
   cache::CacheConfig config;
   config.enabled = false;
   config.disk = disk;

@@ -7,6 +7,7 @@
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/bench_json.hpp"
@@ -165,6 +166,132 @@ TEST(TaskGroup, WaitDoesNotWaitForOtherGroupsTasks) {
   gate.set_value();
   blocked.wait();
   EXPECT_EQ(blocked.pending(), 0u);
+}
+
+// THE nested-sweep deadlock regression (ISSUE 5 tentpole): a pool task
+// that constructs a TaskGroup and waits on sub-tasks submitted to the
+// SAME pool. With a parking wait and one worker, the worker blocks on
+// tasks only it could run — pre-fix this hung forever; the
+// work-assisting wait has the worker execute its own sub-tasks.
+TEST(TaskGroup, NestedWaitInsideOneThreadPoolCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_sum{0};
+  std::atomic<bool> outer_done{false};
+  TaskGroup outer(pool);
+  outer.submit([&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 8; ++i) {
+      inner.submit([&inner_sum] { inner_sum.fetch_add(1); });
+    }
+    inner.wait();
+    // Everything the outer task waited on finished before it resumed.
+    EXPECT_EQ(inner_sum.load(), 8);
+    outer_done.store(true);
+  });
+  outer.wait();
+  EXPECT_TRUE(outer_done.load());
+  EXPECT_EQ(outer.pending(), 0u);
+}
+
+// Three levels of nesting on a one-worker pool: outer case -> inner
+// sweep -> innermost chunk group, the shape of a t1/t2 case whose
+// kernel sweeps (and whose kernel's kernel sweeps again).
+TEST(TaskGroup, DeeplyNestedWaitsOnOneThread) {
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(pool);
+  for (int o = 0; o < 3; ++o) {
+    outer.submit([&pool, &leaves] {
+      TaskGroup mid(pool);
+      for (int m = 0; m < 3; ++m) {
+        mid.submit([&pool, &leaves] {
+          TaskGroup inner(pool);
+          for (int i = 0; i < 3; ++i) {
+            inner.submit([&leaves] { leaves.fetch_add(1); });
+          }
+          inner.wait();
+        });
+      }
+      mid.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 27);
+}
+
+// Oversubscription stress (run under TSan in CI): many more
+// simultaneously-waiting groups than workers, every worker blocked in
+// a nested wait at once, plus an external waiter. Completion proves no
+// schedule loses tasks and no nesting pattern deadlocks.
+TEST(TaskGroup, OversubscribedNestedGroupsStress) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  TaskGroup outer(pool);
+  for (int o = 0; o < 16; ++o) {
+    outer.submit([&pool, &inner_total] {
+      TaskGroup inner(pool);
+      for (int i = 0; i < 16; ++i) {
+        inner.submit([&inner_total] { inner_total.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_total.load(), 16 * 16);
+  EXPECT_EQ(outer.pending(), 0u);
+}
+
+// parallel_for from inside a pool task is the nested shape
+// exp::run_experiment now relies on (outer cases fan out, inner sweeps
+// fan out on the same pool).
+TEST(TaskGroup, NestedParallelForInsidePoolTask) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  TaskGroup outer(pool);
+  for (int o = 0; o < 4; ++o) {
+    outer.submit([&pool, &hits, o] {
+      parallel_for(pool, 0, 16, [&hits, o](std::size_t i) {
+        hits[static_cast<std::size_t>(o) * 16 + i].fetch_add(1);
+      });
+    });
+  }
+  outer.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Work stealing: tasks submitted from one worker land on its own
+// deque, and while that worker is parked on a gate only thieves can
+// run them — so any task that starts before the gate opens was
+// necessarily stolen.
+TEST(ThreadPool, IdleWorkersStealFromABusyWorkersDeque) {
+  ThreadPool pool(4);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  group.submit([&pool, &started, &count, opened] {
+    // Runs on some worker: these land on that worker's own deque.
+    TaskGroup batch(pool);
+    for (int i = 0; i < 32; ++i) {
+      batch.submit([&started, &count, opened] {
+        started.fetch_add(1);
+        opened.wait();
+        count.fetch_add(1);
+      });
+    }
+    // The submitter parks on the gate (not a work-assisting wait), so
+    // until the gate opens its deque is drained by thieves alone.
+    opened.wait();
+    batch.wait();
+  });
+  // Three tasks running while the submitting worker is parked = three
+  // steals, observed before the gate is released.
+  while (started.load() < 3) std::this_thread::yield();
+  EXPECT_GE(pool.steal_count(), 3u);
+  gate.set_value();
+  group.wait();
+  EXPECT_EQ(count.load(), 32);
 }
 
 TEST(Table, MarkdownShape) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/feasibility.hpp"
@@ -149,6 +151,134 @@ TEST(SweepMap, PredicateNeverFiringProducesEverything) {
   const std::vector<int> out = sweep_map<int>(20, id, {}, never, &stats);
   EXPECT_EQ(out.size(), 20u);
   EXPECT_FALSE(stats.stopped_early);
+}
+
+/// Counts live instances so tests can observe whether sweep_map holds
+/// discarded chunk buffers (every constructed-but-not-yet-destroyed
+/// Tracked is a retained result item).
+struct Tracked {
+  static std::atomic<int> live;
+  int value = 0;
+  Tracked() { live.fetch_add(1); }
+  explicit Tracked(int v) : value(v) { live.fetch_add(1); }
+  Tracked(const Tracked& o) : value(o.value) { live.fetch_add(1); }
+  Tracked(Tracked&& o) noexcept : value(o.value) { live.fetch_add(1); }
+  Tracked& operator=(const Tracked&) = default;
+  Tracked& operator=(Tracked&&) = default;
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+// Regression for the early-exit buffer leak: chunks scheduled past the
+// stop trigger used to keep their full output until sweep_map
+// returned, and kept computing it. Now in-flight chunks observe the
+// stop flag — skipping their remaining kernel calls — and every
+// discarded buffer is released. Kernels for items past the stop are
+// gated on the predicate having fired, which ALSO pins the pipelining
+// contract itself: the merge loop must run while later chunks are
+// still executing (the old wave-barrier scheduler, which merged only
+// after the whole wave finished, would deadlock here).
+TEST(SweepMap, EarlyExitReleasesDiscardedChunkBuffersAndSkipsWork) {
+  support::ThreadPool pool(4);
+  SweepConfig config;
+  config.pool = &pool;
+  config.chunk_size = 1;  // every item its own chunk, window = 8 chunks
+  std::atomic<bool> fired{false};
+  std::atomic<int> kernel_calls{0};
+  const std::function<Tracked(std::size_t)> make = [&](std::size_t i) {
+    kernel_calls.fetch_add(1);
+    // Items past the stop run only once the trigger is merged, so
+    // every one of them is provably discarded output.
+    if (i > 0) {
+      while (!fired.load()) std::this_thread::yield();
+    }
+    return Tracked(static_cast<int>(i));
+  };
+  const std::function<bool(const Tracked&)> at_0 = [&](const Tracked& t) {
+    if (t.value == 0) fired.store(true);
+    return t.value == 0;
+  };
+  ASSERT_EQ(Tracked::live.load(), 0);
+  SweepStats stats;
+  const std::vector<Tracked> out =
+      sweep_map<Tracked>(99, make, config, at_0, &stats);
+  // Truncation semantics unchanged: stop on item 0, inclusive.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 0);
+  EXPECT_TRUE(stats.stopped_early);
+  EXPECT_EQ(stats.stop_index, 0u);
+  EXPECT_EQ(stats.items_produced, 1u);
+  // Chunks that had not started when the stop was merged skipped their
+  // kernels entirely: nowhere near all 99 items were computed.
+  EXPECT_LE(kernel_calls.load(), 9);
+  // Every live instance is in the returned vector — each discarded
+  // chunk buffer was released, not retained.
+  EXPECT_EQ(Tracked::live.load(), static_cast<int>(out.size()));
+}
+
+// The pipelined scheduler (schedule wave k+1 while merging wave k)
+// must keep the byte-for-byte ordering contract at any thread count,
+// chunk size, and early-exit position — including stops landing mid-
+// chunk, at a chunk boundary, and past the end.
+TEST(SweepMap, PipelinedSchedulerDeterministicAcrossConfigs) {
+  const std::function<int(std::size_t)> id = [](std::size_t i) {
+    return static_cast<int>(i);
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{16}}) {
+    support::ThreadPool pool(threads);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{64}}) {
+      for (const int stop_at : {-1, 0, 17, 63, 64, 98}) {
+        SweepConfig config;
+        config.pool = &pool;
+        config.chunk_size = chunk;
+        std::function<bool(const int&)> stop_when;
+        if (stop_at >= 0) {
+          stop_when = [stop_at](const int& v) { return v == stop_at; };
+        }
+        SweepStats stats;
+        const std::vector<int> out =
+            sweep_map<int>(99, id, config, stop_when, &stats);
+        const std::size_t expected =
+            (stop_at >= 0 && stop_at < 99) ? stop_at + 1u : 99u;
+        ASSERT_EQ(out.size(), expected)
+            << threads << " threads, chunk " << chunk << ", stop at "
+            << stop_at;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          ASSERT_EQ(out[i], static_cast<int>(i));
+        }
+        EXPECT_EQ(stats.stopped_early, stop_at >= 0 && stop_at < 99);
+        EXPECT_EQ(stats.items_produced, expected);
+      }
+    }
+  }
+}
+
+// A kernel that itself sweeps on the same pool: the nested shape that
+// used to deadlock (the outer chunk's worker blocked on inner chunks
+// only it could run). Work-assisting waits execute them instead.
+TEST(SweepMap, NestedSweepInsideKernelCompletesAndStaysDeterministic) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    support::ThreadPool pool(threads);
+    SweepConfig config;
+    config.pool = &pool;
+    config.chunk_size = 1;
+    const std::function<int(std::size_t)> outer = [&](std::size_t i) {
+      const std::function<int(std::size_t)> inner = [i](std::size_t j) {
+        return static_cast<int>(i * 10 + j);
+      };
+      const std::vector<int> parts = sweep_map<int>(5, inner, config);
+      int sum = 0;
+      for (int p : parts) sum += p;
+      return sum;
+    };
+    const std::vector<int> out = sweep_map<int>(8, outer, config);
+    ASSERT_EQ(out.size(), 8u) << threads << " threads";
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * 50 + 10));
+    }
+  }
 }
 
 TEST(SticSweep, TableIdenticalForOneAndManyThreads) {
