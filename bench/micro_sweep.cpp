@@ -8,8 +8,13 @@
 // cache::ArtifactCache, with a byte-identity cross-check between the
 // two outputs.
 //
+// M4 — batched-Shrink micro-benchmark: every ordered pair of the n=40
+// census graph through the per-pair product BFS vs one
+// views::shrink_all_pairs sweep, values cross-checked (the >= 10x
+// acceptance bar of the batched census engine).
+//
 // Emits one BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set,
-// else the working directory) covering both comparisons for trend
+// else the working directory) covering all comparisons for trend
 // tracking.
 #include <chrono>
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include "sweep/sweep.hpp"
 #include "views/quotient.hpp"
 #include "views/refinement.hpp"
+#include "views/shrink.hpp"
 
 namespace {
 
@@ -274,6 +280,57 @@ int main() {
       "micro_sweep_cache",
       "M3: repeated-graph artifact sweep, uncached vs cached", cache_cmp);
 
+  // ---- M4: batched all-pairs Shrink vs per-pair product BFS ----------
+  // The n=40 census graph that was the per-pair ceiling: every ordered
+  // pair through shrink_with_witness (one product BFS each — the old
+  // census path) vs ONE views::shrink_all_pairs sweep, values
+  // cross-checked cell by cell. The acceptance bar is a >= 10x speedup.
+  const auto shrink_g = families::random_connected(40, 70, 30);
+  const std::uint32_t sn = shrink_g.size();
+  std::vector<std::uint32_t> per_pair_values(
+      static_cast<std::size_t>(sn) * sn, 0);
+  // One timed pass only: this is the slow side being retired.
+  const double per_pair_ms = best_of_ms(1, [&] {
+    for (rdv::graph::Node u = 0; u < sn; ++u) {
+      for (rdv::graph::Node v = 0; v < sn; ++v) {
+        if (u == v) continue;
+        per_pair_values[static_cast<std::size_t>(u) * sn + v] =
+            rdv::views::shrink(shrink_g, u, v);
+      }
+    }
+  });
+  rdv::views::AllPairsShrink batched;
+  const double batched_ms = best_of_ms(repeats, [&] {
+    batched = rdv::views::shrink_all_pairs(shrink_g);
+  });
+  for (rdv::graph::Node u = 0; u < sn; ++u) {
+    for (rdv::graph::Node v = 0; v < sn; ++v) {
+      if (u != v && batched.at(u, v) !=
+                        per_pair_values[static_cast<std::size_t>(u) * sn + v]) {
+        std::fprintf(stderr,
+                     "error: batched Shrink(%u, %u) disagrees with the "
+                     "per-pair oracle\n",
+                     u, v);
+        return 1;
+      }
+    }
+  }
+  const double batched_speedup =
+      batched_ms > 0 ? per_pair_ms / batched_ms : 0;
+  const std::uint64_t shrink_pairs =
+      static_cast<std::uint64_t>(sn) * (sn - 1);
+  rdv::support::Table shrink_cmp(
+      {"kernel", "ordered pairs", "best ms", "speedup"});
+  shrink_cmp.add_row({"per-pair product BFS", std::to_string(shrink_pairs),
+                      rdv::support::format_double(per_pair_ms, 3), "1.0"});
+  shrink_cmp.add_row({"batched all-pairs", std::to_string(shrink_pairs),
+                      rdv::support::format_double(batched_ms, 3),
+                      rdv::support::format_double(batched_speedup, 1)});
+  rdv::analysis::emit_table(
+      "micro_sweep_shrink",
+      "M4: all-pairs Shrink, per-pair product BFS vs batched sweep",
+      shrink_cmp);
+
   const char* dir = std::getenv("REPRO_CSV_DIR");
   const std::string json_path =
       (dir != nullptr ? std::string(dir) + "/" : std::string()) +
@@ -293,6 +350,11 @@ int main() {
        << ",\"cache_hits\":" << cache_stats.total_hits()
        << ",\"cache_misses\":" << cache_stats.total_misses()
        << ",\"cache_bytes\":" << cache_stats.total_bytes()
+       << ",\"shrink_n\":" << sn
+       << ",\"shrink_pairs\":" << shrink_pairs
+       << ",\"per_pair_ms\":" << per_pair_ms
+       << ",\"batched_ms\":" << batched_ms
+       << ",\"batched_speedup\":" << batched_speedup
        << ",\"scaling\":[";
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     if (i != 0) json << ",";

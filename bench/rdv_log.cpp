@@ -1,0 +1,119 @@
+// rdv_log — result-log consumer CLI (ROADMAP "consumer CLI for the
+// binary result log"): dump a log written by `rdv_bench --result-log`
+// as CSV or JSON, or diff two logs. wall_micros is scheduling noise
+// and is excluded by default, so two runs of the same workload at
+// different thread counts dump AND diff identically — the property the
+// CI census-log step byte-checks.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/log_tools.hpp"
+#include "store/result_log.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: rdv_log dump <log> [--json] [--wall]
+       rdv_log diff <a> <b> [--strict]
+
+dump  renders every record of a binary result log to stdout as CSV
+      (default) or JSON (--json); --wall includes the wall-clock field
+      (excluded by default so dumps are run-to-run comparable).
+diff  compares two logs record by record through their canonical
+      encodings, ignoring wall-clock unless --strict. Exit 0 when
+      identical, 1 when they differ.
+
+Logs are written by `rdv_bench --result-log <file>`.
+)";
+
+std::vector<rdv::store::ResultRecord> load_or_die(const std::string& path) {
+  try {
+    return rdv::store::read_result_log(path);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "rdv_log: cannot read %s: %s\n", path.c_str(),
+                 ex.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::fputs(kUsage, args.empty() ? stderr : stdout);
+    return args.empty() ? 2 : 0;
+  }
+
+  if (args[0] == "dump") {
+    std::string path;
+    bool json = false;
+    bool wall = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else if (args[i] == "--wall") {
+        wall = true;
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        std::fprintf(stderr, "rdv_log: unknown dump option %.*s\n%s",
+                     static_cast<int>(args[i].size()), args[i].data(),
+                     kUsage);
+        return 2;
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        std::fprintf(stderr, "rdv_log: dump takes one log\n%s", kUsage);
+        return 2;
+      }
+    }
+    if (path.empty()) {
+      std::fprintf(stderr, "rdv_log: dump needs a log path\n%s", kUsage);
+      return 2;
+    }
+    const auto records = load_or_die(path);
+    const std::string rendered =
+        json ? rdv::store::render_log_json(records, wall)
+             : rdv::store::render_log_csv(records, wall);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    return 0;
+  }
+
+  if (args[0] == "diff") {
+    std::vector<std::string> paths;
+    bool strict = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--strict") {
+        strict = true;
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        std::fprintf(stderr, "rdv_log: unknown diff option %.*s\n%s",
+                     static_cast<int>(args[i].size()), args[i].data(),
+                     kUsage);
+        return 2;
+      } else {
+        paths.emplace_back(args[i]);
+      }
+    }
+    if (paths.size() != 2) {
+      std::fprintf(stderr, "rdv_log: diff takes exactly two logs\n%s",
+                   kUsage);
+      return 2;
+    }
+    const auto a = load_or_die(paths[0]);
+    const auto b = load_or_die(paths[1]);
+    const rdv::store::LogDiff diff =
+        rdv::store::diff_logs(a, b, /*ignore_wall=*/!strict);
+    if (!diff.identical) {
+      std::fprintf(stderr, "rdv_log: %s and %s differ:\n%s",
+                   paths[0].c_str(), paths[1].c_str(), diff.report.c_str());
+      return 1;
+    }
+    std::printf("identical: %zu records\n", a.size());
+    return 0;
+  }
+
+  std::fprintf(stderr, "rdv_log: unknown command %.*s\n%s",
+               static_cast<int>(args[0].size()), args[0].data(), kUsage);
+  return 2;
+}

@@ -1,7 +1,6 @@
 #include "cache/artifact_cache.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <string>
 
 #include "store/codec.hpp"
@@ -54,6 +53,23 @@ std::uint64_t shrink_bytes(const views::ShrinkResult& r) {
   return r.witness.size() * sizeof(graph::Port) + sizeof(views::ShrinkResult);
 }
 
+std::uint64_t all_pairs_shrink_bytes(const views::AllPairsShrink& a) {
+  return a.values.size() * sizeof(std::uint32_t) +
+         sizeof(views::AllPairsShrink);
+}
+
+/// Fixed-width lowercase hex (16 digits), with no intermediate
+/// fixed-size buffer anywhere in the key path.
+std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
 ArtifactCache::ArtifactCache(const CacheConfig& config)
@@ -65,7 +81,9 @@ ArtifactCache::ArtifactCache(const CacheConfig& config)
       uxs_(config.shards, config.capacity_per_shard, config.enabled,
            config.bytes_per_shard),
       shrink_(config.shards, config.capacity_per_shard, config.enabled,
-              config.bytes_per_shard) {}
+              config.bytes_per_shard),
+      all_pairs_shrink_(config.shards, config.capacity_per_shard,
+                        config.enabled, config.bytes_per_shard) {}
 
 std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
     const graph::Graph& g) {
@@ -73,11 +91,8 @@ std::shared_ptr<const views::ViewClasses> ArtifactCache::view_classes(
 }
 
 std::string ArtifactCache::disk_key(const GraphFingerprint& fp) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "fp-%016llx-%016llx-n%u",
-                static_cast<unsigned long long>(fp.hi),
-                static_cast<unsigned long long>(fp.lo), fp.n);
-  return buffer;
+  return "fp-" + hex16(fp.hi) + "-" + hex16(fp.lo) + "-n" +
+         std::to_string(fp.n);
 }
 
 std::string ArtifactCache::disk_key(const ShrinkKey& key) {
@@ -149,12 +164,31 @@ std::shared_ptr<const views::ShrinkResult> ArtifactCache::shrink(
       shrink_bytes);
 }
 
+std::shared_ptr<const views::AllPairsShrink> ArtifactCache::all_pairs_shrink(
+    const graph::Graph& g) {
+  return all_pairs_shrink(g, fingerprint(g));
+}
+
+std::shared_ptr<const views::AllPairsShrink> ArtifactCache::all_pairs_shrink(
+    const graph::Graph& g, const GraphFingerprint& fp) {
+  return all_pairs_shrink_.get_or_compute(
+      fp,
+      [this, &g, &fp] {
+        return through_disk<views::AllPairsShrink>(
+            disk(), store::Kind::kShrinkAllPairs, disk_key(fp),
+            store::encode_all_pairs_shrink, store::decode_all_pairs_shrink,
+            [&g] { return views::shrink_all_pairs(g); });
+      },
+      all_pairs_shrink_bytes);
+}
+
 CacheStats ArtifactCache::stats() const {
   CacheStats stats;
   stats.view_classes = view_classes_.stats();
   stats.quotients = quotients_.stats();
   stats.uxs = uxs_.stats();
   stats.shrink = shrink_.stats();
+  stats.all_pairs_shrink = all_pairs_shrink_.stats();
   return stats;
 }
 
@@ -163,6 +197,7 @@ void ArtifactCache::clear() {
   quotients_.clear();
   uxs_.clear();
   shrink_.clear();
+  all_pairs_shrink_.clear();
 }
 
 ArtifactCache& global_cache() {
@@ -212,6 +247,11 @@ std::shared_ptr<const views::ShrinkResult> cached_shrink(
     const graph::Graph& g, graph::Node u, graph::Node v,
     ArtifactCache* cache) {
   return (cache != nullptr ? *cache : global_cache()).shrink(g, u, v);
+}
+
+std::shared_ptr<const views::AllPairsShrink> cached_all_pairs_shrink(
+    const graph::Graph& g, ArtifactCache* cache) {
+  return (cache != nullptr ? *cache : global_cache()).all_pairs_shrink(g);
 }
 
 uxs::UxsProvider cached_uxs_provider(ArtifactCache* cache) {

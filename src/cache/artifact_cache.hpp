@@ -58,16 +58,19 @@ struct CacheStats {
   StoreStats quotients;
   StoreStats uxs;
   StoreStats shrink;
+  StoreStats all_pairs_shrink;
 
   [[nodiscard]] std::uint64_t total_hits() const {
-    return view_classes.hits + quotients.hits + uxs.hits + shrink.hits;
+    return view_classes.hits + quotients.hits + uxs.hits + shrink.hits +
+           all_pairs_shrink.hits;
   }
   [[nodiscard]] std::uint64_t total_misses() const {
     return view_classes.misses + quotients.misses + uxs.misses +
-           shrink.misses;
+           shrink.misses + all_pairs_shrink.misses;
   }
   [[nodiscard]] std::uint64_t total_bytes() const {
-    return view_classes.bytes + quotients.bytes + uxs.bytes + shrink.bytes;
+    return view_classes.bytes + quotients.bytes + uxs.bytes + shrink.bytes +
+           all_pairs_shrink.bytes;
   }
 };
 
@@ -128,6 +131,15 @@ class ArtifactCache {
       const graph::Graph& g, const GraphFingerprint& fp, graph::Node u,
       graph::Node v);
 
+  /// Batched all-pairs Shrink table of g (views::shrink_all_pairs),
+  /// keyed by fingerprint alone — ONE artifact per graph replacing n^2
+  /// tiny per-pair entries on the census hot path. Same two-tier
+  /// behavior as the other per-graph artifacts.
+  [[nodiscard]] std::shared_ptr<const views::AllPairsShrink>
+  all_pairs_shrink(const graph::Graph& g);
+  [[nodiscard]] std::shared_ptr<const views::AllPairsShrink>
+  all_pairs_shrink(const graph::Graph& g, const GraphFingerprint& fp);
+
   [[nodiscard]] CacheStats stats() const;
   void clear();
   [[nodiscard]] const CacheConfig& config() const noexcept {
@@ -138,12 +150,15 @@ class ArtifactCache {
     return config_.disk.get();
   }
 
- private:
   /// Disk-store key strings (filename-safe): the fingerprint for
   /// per-graph artifacts, "n<k>" for UXS sizes, fingerprint + pair for
-  /// Shrink.
+  /// Shrink. Built via std::string — no fixed-width buffer, so no key
+  /// component can ever be truncated into a colliding prefix (public so
+  /// tests can pin that property on adversarially wide keys).
   [[nodiscard]] static std::string disk_key(const GraphFingerprint& fp);
   [[nodiscard]] static std::string disk_key(const ShrinkKey& key);
+
+ private:
 
   CacheConfig config_;
   ShardedLruStore<GraphFingerprint, views::ViewClasses, FingerprintHash>
@@ -152,6 +167,8 @@ class ArtifactCache {
       quotients_;
   ShardedLruStore<std::uint32_t, uxs::Uxs> uxs_;
   ShardedLruStore<ShrinkKey, views::ShrinkResult, ShrinkKeyHash> shrink_;
+  ShardedLruStore<GraphFingerprint, views::AllPairsShrink, FingerprintHash>
+      all_pairs_shrink_;
 };
 
 /// Process-global cache used when no explicit cache is supplied.
@@ -174,6 +191,8 @@ class ArtifactCache {
 [[nodiscard]] std::shared_ptr<const views::ShrinkResult> cached_shrink(
     const graph::Graph& g, graph::Node u, graph::Node v,
     ArtifactCache* cache = nullptr);
+[[nodiscard]] std::shared_ptr<const views::AllPairsShrink>
+cached_all_pairs_shrink(const graph::Graph& g, ArtifactCache* cache = nullptr);
 
 /// uxs::UxsProvider resolving through `cache` (nullptr: the global
 /// cache) — the canonical provider for the algorithms in core/

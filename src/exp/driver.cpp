@@ -15,6 +15,7 @@
 #include "support/env.hpp"
 #include "support/thread_pool.hpp"
 #include "uxs/corpus.hpp"
+#include "views/shrink.hpp"
 
 namespace rdv::exp {
 namespace {
@@ -178,16 +179,6 @@ std::string join(const std::vector<std::string>& parts,
   return out;
 }
 
-const char* scale_name(Scale scale) {
-  switch (scale) {
-    case Scale::kSmoke: return "smoke";
-    case Scale::kQuick: return "quick";
-    case Scale::kFull: return "full";
-    case Scale::kCensus: return "census";
-  }
-  return "?";
-}
-
 void print_list(const std::vector<const Experiment*>& selected) {
   support::Table table({"id", "tags", "summary"});
   for (const Experiment* e : selected) {
@@ -240,6 +231,15 @@ void print_run_stats() {
   std::fprintf(stderr, "rdv_bench: uxs_corpus_verifications=%llu\n",
                static_cast<unsigned long long>(
                    uxs::corpus_verification_count()));
+  // The census acceptance greps these: the batched path must leave
+  // shrink_pair_bfs at zero, and a warm store leaves the compute count
+  // at zero too.
+  std::fprintf(stderr,
+               "rdv_bench: shrink_pair_bfs=%llu shrink_all_pairs_computes="
+               "%llu\n",
+               static_cast<unsigned long long>(views::shrink_pair_bfs_count()),
+               static_cast<unsigned long long>(
+                   views::shrink_all_pairs_compute_count()));
   const store::DiskStore* disk = cache::global_cache().disk();
   if (disk == nullptr) return;
   std::fprintf(stderr, "rdv_bench: store dir=%s salt=%s\n",
@@ -374,7 +374,24 @@ int run_main(int argc, const char* const* argv) {
     if (i != 0) std::printf("\n");
     std::printf("== %s [%s] ==\n", e.id.c_str(), scale_name(ctx.scale));
     try {
+      // Streaming scenarios (the censuses) push per-case detail records
+      // through this sink DURING the run; they land in the log in case
+      // order, before the experiment's own summary record below.
+      std::unique_ptr<store::OrderedResultStream> stream;
+      if (log != nullptr) {
+        stream = std::make_unique<store::OrderedResultStream>(
+            *log, args.check ? &logged : nullptr);
+      }
+      ctx.stream = stream.get();
       const ExpOutput output = run_experiment(e, ctx);
+      ctx.stream = nullptr;
+      if (stream != nullptr && stream->pending() != 0) {
+        std::fprintf(stderr,
+                     "rdv_bench: %s left %zu streamed records stranded "
+                     "(non-contiguous case indices)\n",
+                     e.id.c_str(), stream->pending());
+        ++failures;
+      }
       const std::vector<std::string> written =
           emit(e, output, emit_options);
       timings.push_back(Timing{e.id, output.wall_micros,

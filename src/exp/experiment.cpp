@@ -9,6 +9,16 @@
 
 namespace rdv::exp {
 
+const char* scale_name(Scale scale) noexcept {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kQuick: return "quick";
+    case Scale::kFull: return "full";
+    case Scale::kCensus: return "census";
+  }
+  return "?";
+}
+
 ExpOutput run_experiment(const Experiment& experiment,
                          const ExpContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();

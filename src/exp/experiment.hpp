@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "store/result_log.hpp"
 #include "support/table.hpp"
 #include "sweep/sweep.hpp"
 
@@ -35,6 +36,10 @@ enum class Scale {
   kCensus,
 };
 
+/// Stable name of a scale ("smoke", "quick", "full", "census") — the
+/// string logged into result records.
+[[nodiscard]] const char* scale_name(Scale scale) noexcept;
+
 /// Everything a case kernel may depend on besides its own parameters.
 /// The sweep config carries the pool, the artifact cache, and the
 /// chunking; kernels resolve shared artifacts through `cache()` so a
@@ -58,6 +63,15 @@ struct ExpContext {
   [[nodiscard]] cache::ArtifactCache* cache() const noexcept {
     return sweep.cache;
   }
+
+  /// Detail-record sink for streaming scenarios (the censuses): a case
+  /// kernel submits per-case records under its case index and they
+  /// reach the result log incrementally in index order, regardless of
+  /// completion order — no full-table materialization, byte-identical
+  /// at every thread count (streamed records must not carry wall-clock
+  /// fields). nullptr when no result log is attached; kernels skip
+  /// streaming then.
+  store::OrderedResultStream* stream = nullptr;
 };
 
 /// Computes one table row. Must be thread-safe: cases execute

@@ -1,17 +1,21 @@
-// C1 — random-graph STIC census (ROADMAP "larger-scale workloads").
-// Classifies EVERY ordered STIC of seeded random connected graphs via
-// Corollary 3.1 — no simulation, so the census scales to far larger
-// graphs than the T-series sweeps: feasibility needs only the view
-// partition (once per graph) and Shrink (once per ordered pair), both
-// resolved through the artifact cache and therefore persisted by the
-// disk store (a warm census run recomputes nothing). One graph is one
-// case; cases parallelize on the pool.
+// C1 — random-graph STIC census (ROADMAP "streaming million-STIC
+// census engine"). Classifies EVERY ordered STIC of seeded random
+// connected graphs via Corollary 3.1 — no simulation, so the census
+// scales to far larger graphs than the T-series sweeps: feasibility
+// needs only the view partition (once per graph) and the BATCHED
+// all-pairs Shrink table (views::shrink_all_pairs — one BFS sweep per
+// source, never a per-pair product BFS), both resolved through the
+// artifact cache and therefore persisted by the disk store (a warm
+// census run recomputes nothing). One graph is one case; cases
+// parallelize on the pool, and each case streams its Shrink histogram
+// into the binary result log instead of materializing per-pair tables.
 #include <algorithm>
 #include <memory>
 
 #include "cache/artifact_cache.hpp"
 #include "exp/scenarios/scenarios.hpp"
 #include "graph/families/families.hpp"
+#include "store/result_log.hpp"
 #include "views/refinement.hpp"
 #include "views/shrink.hpp"
 
@@ -30,15 +34,18 @@ void register_c1(Registry& registry) {
   e.title = "C1 (census): random-graph STIC census via Corollary 3.1";
   e.summary =
       "classify every ordered STIC of seeded random connected graphs "
-      "(symmetry + Shrink through the cache; no simulation)";
+      "(symmetry + batched all-pairs Shrink through the cache; no "
+      "simulation)";
   e.axes = {
       "graph: random_connected(n, extra, seed) x delays 0..max_delay",
       "smoke: n<=7, delay<=1; quick: +n<=10, delay<=2; full: +n<=20; "
-      "census: +n<=40, delay<=3"};
+      "census: +n<=256, delay<=3",
+      "per-graph Shrink histograms stream into the result log "
+      "(--result-log) as the cases complete"};
   e.headers = {"graph",     "n",       "edges",    "classes",
                "pairs",     "symmetric", "STICs",  "feasible",
                "infeasible", "max Shrink"};
-  e.tags = {"table", "census", "feasibility", "random"};
+  e.tags = {"table", "census", "feasibility", "random", "streaming"};
   e.cases = [](const ExpContext& ctx) {
     auto graphs = std::make_shared<std::vector<Graph>>();
     graphs->push_back(families::random_connected(6, 2, 21));
@@ -53,9 +60,15 @@ void register_c1(Registry& registry) {
       graphs->push_back(families::random_connected(20, 24, 27));
     }
     if (ctx.census()) {
+      // The batched kernel prices the whole table at ONE product BFS,
+      // so the census scale jumps from n=40 (the per-pair ceiling) into
+      // the hundreds; the bound is now the O(n^2 m) view refinement.
       graphs->push_back(families::random_connected(24, 30, 28));
       graphs->push_back(families::random_connected(32, 48, 29));
       graphs->push_back(families::random_connected(40, 70, 30));
+      graphs->push_back(families::random_connected(100, 160, 31));
+      graphs->push_back(families::random_connected(200, 340, 32));
+      graphs->push_back(families::random_connected(256, 440, 33));
     }
     const std::uint64_t max_delay =
         ctx.smoke() ? 1 : (ctx.census() ? 3 : 2);
@@ -68,21 +81,29 @@ void register_c1(Registry& registry) {
             cache::cached_view_classes(g, run_ctx.cache());
         // The quotient is what an anonymous agent can learn about the
         // graph; its class count summarizes the census arena (and keeps
-        // all four artifact kinds flowing through cache + store).
+        // the artifact kinds flowing through cache + store).
         const auto quotient = cache::cached_quotient(g, run_ctx.cache());
+        const auto all = cache::cached_all_pairs_shrink(g, run_ctx.cache());
         std::uint64_t pairs = 0;
         std::uint64_t symmetric_pairs = 0;
         std::uint64_t feasible = 0;
         std::uint32_t max_shrink = 0;
+        // Shrink histogram over symmetric ordered pairs: the compact
+        // streamed detail (a census row per VALUE, not per pair —
+        // millions of STICs classify into a handful of rows).
+        std::vector<std::uint64_t> histogram;
         for (Node u = 0; u < g.size(); ++u) {
           for (Node v = 0; v < g.size(); ++v) {
             if (u == v) continue;
             ++pairs;
             const bool sym = classes->symmetric(u, v);
-            const std::uint32_t s =
-                cache::cached_shrink(g, u, v, run_ctx.cache())->shrink;
+            const std::uint32_t s = all->at(u, v);
             max_shrink = std::max(max_shrink, s);
-            if (sym) ++symmetric_pairs;
+            if (sym) {
+              ++symmetric_pairs;
+              if (s >= histogram.size()) histogram.resize(s + 1, 0);
+              ++histogram[s];
+            }
             // Corollary 3.1 per delay, counted arithmetically: delta in
             // [0, max_delay] is feasible iff nonsymmetric or delta >= s.
             if (!sym) {
@@ -91,6 +112,22 @@ void register_c1(Registry& registry) {
               feasible += max_delay + 1 - s;
             }
           }
+        }
+        if (run_ctx.stream != nullptr) {
+          store::ResultRecord detail;
+          detail.experiment_id = "c1_random_census/" + g.name();
+          detail.scale = scale_name(run_ctx.scale);
+          detail.items_total = pairs;
+          detail.headers = {"shrink", "symmetric ordered pairs"};
+          for (std::uint32_t s = 0; s < histogram.size(); ++s) {
+            if (histogram[s] == 0) continue;
+            detail.rows.push_back(
+                {std::to_string(s), std::to_string(histogram[s])});
+          }
+          detail.rows.push_back(
+              {"nonsymmetric", std::to_string(pairs - symmetric_pairs)});
+          detail.items_produced = detail.rows.size();
+          run_ctx.stream->submit(i, std::move(detail));
         }
         const std::uint64_t stics = pairs * (max_delay + 1);
         return std::vector<std::string>{
@@ -112,7 +149,8 @@ void register_c1(Registry& registry) {
     return std::vector<std::string>{
         std::string("Census of every ordered STIC with delays 0..") +
         std::to_string(ctx.smoke() ? 1 : (ctx.census() ? 3 : 2)) +
-        "; feasibility by Corollary 3.1 (no simulation)."};
+        "; feasibility by Corollary 3.1 (no simulation), Shrink from "
+        "the batched all-pairs kernel."};
   };
   registry.add(std::move(e));
 }

@@ -16,6 +16,7 @@ void register_builtin(Registry& registry) {
   register_t11(registry);
   register_fig1(registry);
   register_c1(registry);
+  register_c2(registry);
 }
 
 }  // namespace rdv::exp::scenarios

@@ -21,6 +21,7 @@ void register_t10(Registry& registry);
 void register_t11(Registry& registry);
 void register_fig1(Registry& registry);
 void register_c1(Registry& registry);
+void register_c2(Registry& registry);
 
 /// All of the above, in table order.
 void register_builtin(Registry& registry);

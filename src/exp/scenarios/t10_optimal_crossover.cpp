@@ -38,7 +38,7 @@ std::string render_witness(
 
 std::vector<std::string> case_row(const Case& c, const ExpContext& ctx) {
   const std::uint32_t s =
-      cache::cached_shrink(c.g, c.u, c.v, ctx.cache())->shrink;
+      cache::cached_all_pairs_shrink(c.g, ctx.cache())->at(c.u, c.v);
   // Below the threshold: certified impossible.
   std::string below = "(S=0)";
   if (s >= 1) {

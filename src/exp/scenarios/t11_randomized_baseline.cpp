@@ -77,7 +77,8 @@ void register_t11(Registry& registry) {
         const bool sym = cache::cached_view_classes(c.g, run_ctx.cache())
                              ->symmetric(c.u, c.v);
         const std::uint32_t s =
-            cache::cached_shrink(c.g, c.u, c.v, run_ctx.cache())->shrink;
+            cache::cached_all_pairs_shrink(c.g, run_ctx.cache())
+                ->at(c.u, c.v);
         const bool feasible = !sym || c.delay >= s;
         int met = 0;
         std::uint64_t total = 0;

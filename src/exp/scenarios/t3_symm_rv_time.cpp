@@ -71,7 +71,7 @@ void register_t3(Registry& registry) {
     prepared->reserve(cases->size());
     for (const Case& c : *cases) {
       prepared->push_back(
-          {cache::cached_shrink(c.g, c.u, c.v, ctx.cache())->shrink,
+          {cache::cached_all_pairs_shrink(c.g, ctx.cache())->at(c.u, c.v),
            cache::cached_uxs(c.g.size(), ctx.cache())});
     }
     // Case i = pair i/2 at delay d + i%2.

@@ -91,7 +91,8 @@ void register_t5(Registry& registry) {
             cache::cached_view_classes(c.g, run_ctx.cache());
         const bool sym = classes->symmetric(c.u, c.v);
         const std::uint32_t shrink =
-            cache::cached_shrink(c.g, c.u, c.v, run_ctx.cache())->shrink;
+            cache::cached_all_pairs_shrink(c.g, run_ctx.cache())
+                ->at(c.u, c.v);
         const std::uint64_t P =
             sym ? core::guaranteed_phase_symmetric(c.g.size(), shrink,
                                                    c.delay)

@@ -63,7 +63,7 @@ void register_t7(Registry& registry) {
     for (std::size_t i = 0; i < cases->size(); ++i) {
       const Case& c = (*cases)[i];
       const std::uint32_t s =
-          cache::cached_shrink(c.g, c.u, c.v, ctx.cache())->shrink;
+          cache::cached_all_pairs_shrink(c.g, ctx.cache())->at(c.u, c.v);
       for (std::uint64_t delta = 0; delta < s; ++delta) {
         fns.push_back([cases, i, s, delta](const ExpContext&) {
           const Case& c = (*cases)[i];

@@ -1,0 +1,140 @@
+#include "graph/families/implicit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rdv::graph::families {
+
+namespace {
+
+std::uint32_t ring_distance(std::uint32_t n, std::uint32_t a,
+                            std::uint32_t b) {
+  const std::uint32_t forward = a <= b ? b - a : n - (a - b);
+  return std::min(forward, n - forward);
+}
+
+}  // namespace
+
+OrientedRingTopology::OrientedRingTopology(std::uint32_t n) : n_(n) {
+  if (n < 3) {
+    throw std::invalid_argument("OrientedRingTopology: n must be >= 3");
+  }
+}
+
+Port OrientedRingTopology::degree(Node) const { return 2; }
+
+Step OrientedRingTopology::step(Node v, Port p) const {
+  // Same wiring as oriented_ring: port 0 clockwise entering by port 1,
+  // port 1 counterclockwise entering by port 0.
+  if (p == 0) return Step{(v + 1) % n_, 1};
+  return Step{(v + n_ - 1) % n_, 0};
+}
+
+std::string OrientedRingTopology::name() const {
+  return "implicit_ring(" + std::to_string(n_) + ")";
+}
+
+std::uint32_t OrientedRingTopology::distance(Node u, Node v) const {
+  return ring_distance(n_, u, v);
+}
+
+std::vector<std::uint64_t> OrientedRingTopology::distance_histogram() const {
+  // Offsets 1..n-1 from any source; dist = min(o, n - o). Every
+  // distance 1..floor(n/2) occurs twice except the antipode of an even
+  // ring, which occurs once.
+  std::vector<std::uint64_t> counts(n_ / 2 + 1, 0);
+  for (std::uint32_t d = 1; d <= n_ / 2; ++d) {
+    counts[d] = (n_ % 2 == 0 && d == n_ / 2) ? 1 : 2;
+  }
+  return counts;
+}
+
+OrientedTorusTopology::OrientedTorusTopology(std::uint32_t w,
+                                             std::uint32_t h)
+    : w_(w), h_(h) {
+  if (w < 3 || h < 3) {
+    throw std::invalid_argument(
+        "OrientedTorusTopology: w and h must be >= 3");
+  }
+}
+
+Port OrientedTorusTopology::degree(Node) const { return 4; }
+
+Step OrientedTorusTopology::step(Node v, Port p) const {
+  // Same wiring as oriented_torus: 0 = East (entered by West), 1 =
+  // South (entered by North), 2 = West, 3 = North.
+  const std::uint32_t x = v % w_;
+  const std::uint32_t y = v / w_;
+  switch (p) {
+    case 0: return Step{y * w_ + (x + 1) % w_, 2};
+    case 1: return Step{((y + 1) % h_) * w_ + x, 3};
+    case 2: return Step{y * w_ + (x + w_ - 1) % w_, 0};
+    default: return Step{((y + h_ - 1) % h_) * w_ + x, 1};
+  }
+}
+
+std::string OrientedTorusTopology::name() const {
+  return "implicit_torus(" + std::to_string(w_) + "x" + std::to_string(h_) +
+         ")";
+}
+
+std::uint32_t OrientedTorusTopology::distance(Node u, Node v) const {
+  return ring_distance(w_, u % w_, v % w_) +
+         ring_distance(h_, u / w_, v / w_);
+}
+
+std::vector<std::uint64_t> OrientedTorusTopology::distance_histogram()
+    const {
+  // Sum of two independent ring offsets; O(w * h) enumeration of the
+  // offset grid (tiny next to the n^2 pair census it summarizes).
+  std::vector<std::uint64_t> counts(w_ / 2 + h_ / 2 + 1, 0);
+  for (std::uint32_t dx = 0; dx < w_; ++dx) {
+    for (std::uint32_t dy = 0; dy < h_; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      ++counts[ring_distance(w_, 0, dx) + ring_distance(h_, 0, dy)];
+    }
+  }
+  return counts;
+}
+
+HypercubeTopology::HypercubeTopology(std::uint32_t dim) : dim_(dim) {
+  if (dim < 1 || dim > 25) {
+    throw std::invalid_argument(
+        "HypercubeTopology: dim must be in [1, 25]");
+  }
+}
+
+Port HypercubeTopology::degree(Node) const { return dim_; }
+
+Step HypercubeTopology::step(Node v, Port p) const {
+  // Same wiring as hypercube: port i flips bit i on both sides.
+  return Step{v ^ (1u << p), p};
+}
+
+std::string HypercubeTopology::name() const {
+  return "implicit_hypercube(" + std::to_string(dim_) + ")";
+}
+
+std::uint32_t HypercubeTopology::distance(Node u, Node v) const {
+  std::uint32_t x = u ^ v;
+  std::uint32_t d = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++d;
+  }
+  return d;
+}
+
+std::vector<std::uint64_t> HypercubeTopology::distance_histogram() const {
+  // counts[d] = C(dim, d), built by the Pascal recurrence (exact in
+  // uint64 for dim <= 25).
+  std::vector<std::uint64_t> counts(dim_ + 1, 0);
+  std::uint64_t c = 1;
+  for (std::uint32_t d = 1; d <= dim_; ++d) {
+    c = c * (dim_ - d + 1) / d;
+    counts[d] = c;
+  }
+  return counts;
+}
+
+}  // namespace rdv::graph::families

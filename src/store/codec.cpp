@@ -38,6 +38,7 @@ const char* kind_name(Kind kind) noexcept {
     case Kind::kQuotients: return "quotients";
     case Kind::kUxs: return "uxs";
     case Kind::kShrink: return "shrink";
+    case Kind::kShrinkAllPairs: return "shrink_all_pairs";
   }
   return "?";
 }
@@ -133,6 +134,28 @@ views::ShrinkResult decode_shrink(std::string_view bytes) {
   r.pairs_explored = d.u64();
   d.finish();
   return r;
+}
+
+std::string encode_all_pairs_shrink(const views::AllPairsShrink& a) {
+  Encoder e;
+  e.u32(a.n);
+  e.u32_vec(a.values);
+  e.u64(a.pairs_explored);
+  return e.take();
+}
+
+views::AllPairsShrink decode_all_pairs_shrink(std::string_view bytes) {
+  Decoder d(bytes);
+  views::AllPairsShrink a;
+  a.n = d.u32();
+  a.values = d.u32_vec();
+  a.pairs_explored = d.u64();
+  d.finish();
+  if (a.values.size() !=
+      static_cast<std::size_t>(a.n) * static_cast<std::size_t>(a.n)) {
+    throw CodecError("all-pairs shrink table is not n x n");
+  }
+  return a;
 }
 
 }  // namespace rdv::store

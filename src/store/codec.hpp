@@ -147,11 +147,12 @@ enum class Kind {
   kQuotients = 1,
   kUxs = 2,
   kShrink = 3,
+  kShrinkAllPairs = 4,
 };
-inline constexpr std::size_t kKindCount = 4;
+inline constexpr std::size_t kKindCount = 5;
 
 /// Stable directory / stats name ("view_classes", "quotients", "uxs",
-/// "shrink").
+/// "shrink", "shrink_all_pairs").
 [[nodiscard]] const char* kind_name(Kind kind) noexcept;
 
 /// Artifact serializers: deterministic byte renderings of the four
@@ -168,5 +169,10 @@ inline constexpr std::size_t kKindCount = 4;
 
 [[nodiscard]] std::string encode_shrink(const views::ShrinkResult& r);
 [[nodiscard]] views::ShrinkResult decode_shrink(std::string_view bytes);
+
+[[nodiscard]] std::string encode_all_pairs_shrink(
+    const views::AllPairsShrink& a);
+[[nodiscard]] views::AllPairsShrink decode_all_pairs_shrink(
+    std::string_view bytes);
 
 }  // namespace rdv::store

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/result_log.hpp"
+
+/// Rendering and comparison helpers behind the `rdv_log` result-log
+/// consumer CLI (dump to CSV/JSON, diff two logs). Kept in the store
+/// layer so the formats are unit-testable without spawning the binary.
+namespace rdv::store {
+
+/// CSV rendering: one `# record` metadata comment line per record
+/// followed by its table (headers + rows), records separated by a
+/// blank line. wall_micros is scheduling noise and is omitted unless
+/// `include_wall` — the default rendering of the same logical run is
+/// byte-identical across thread counts.
+[[nodiscard]] std::string render_log_csv(
+    const std::vector<ResultRecord>& records, bool include_wall = false);
+
+/// JSON rendering: an array of record objects, each with its table as
+/// {"headers": [...], "rows": [[...], ...]}. Same include_wall rule.
+[[nodiscard]] std::string render_log_json(
+    const std::vector<ResultRecord>& records, bool include_wall = false);
+
+struct LogDiff {
+  bool identical = true;
+  /// Human-readable divergence report ("" when identical).
+  std::string report;
+};
+
+/// Structural comparison of two parsed logs via their canonical record
+/// encodings. `ignore_wall` (the default) zeroes wall_micros on both
+/// sides first, so two runs of the same workload compare equal
+/// regardless of timing.
+[[nodiscard]] LogDiff diff_logs(const std::vector<ResultRecord>& a,
+                                const std::vector<ResultRecord>& b,
+                                bool ignore_wall = true);
+
+}  // namespace rdv::store

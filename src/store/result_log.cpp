@@ -82,6 +82,29 @@ void ResultLogWriter::append(const ResultRecord& record) {
   if (ok_) ++records_;
 }
 
+void OrderedResultStream::submit(std::size_t index, ResultRecord record) {
+  const std::scoped_lock lock(mutex_);
+  if (index < next_ || pending_.count(index) != 0) return;
+  pending_.emplace(index, std::move(record));
+  for (auto it = pending_.find(next_); it != pending_.end();
+       it = pending_.find(next_)) {
+    writer_.append(it->second);
+    if (collect_ != nullptr) collect_->push_back(std::move(it->second));
+    pending_.erase(it);
+    ++next_;
+  }
+}
+
+std::size_t OrderedResultStream::flushed() const {
+  const std::scoped_lock lock(mutex_);
+  return next_;
+}
+
+std::size_t OrderedResultStream::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_.size();
+}
+
 std::vector<ResultRecord> read_result_log(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw CodecError("result log unreadable: " + path);

@@ -1,8 +1,9 @@
 #include "views/shrink.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <queue>
-#include <unordered_map>
 
 namespace rdv::views {
 
@@ -10,22 +11,34 @@ using graph::Graph;
 using graph::Node;
 using graph::Port;
 
+namespace {
+
+std::atomic<std::uint64_t> pair_bfs_runs{0};
+std::atomic<std::uint64_t> all_pairs_runs{0};
+
+/// Sentinel "no parent yet" marker for the flat parent table.
+constexpr std::uint64_t kNoPair = static_cast<std::uint64_t>(-1);
+
+}  // namespace
+
 ShrinkResult shrink_with_witness(const Graph& g, Node u, Node v) {
+  pair_bfs_runs.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t n = g.size();
   const auto pair_id = [n](Node a, Node b) -> std::uint64_t {
     return static_cast<std::uint64_t>(a) * n + b;
   };
 
   // Product BFS over ordered pairs; parent pointers (pair, port) let us
-  // reconstruct the witness sequence.
+  // reconstruct the witness sequence. n^2 is known up front, so the
+  // parent table is a flat vector keyed by pair id, not a hash map.
   struct Parent {
-    std::uint64_t from;
-    Port port;
+    std::uint64_t from = kNoPair;
+    Port port = 0;
   };
-  std::unordered_map<std::uint64_t, Parent> parents;
+  std::vector<Parent> parents(n * n);
   std::queue<std::uint64_t> queue;
   const std::uint64_t start = pair_id(u, v);
-  parents.emplace(start, Parent{start, 0});
+  parents[start] = Parent{start, 0};
   queue.push(start);
 
   // Distances to every node from every *distinct second coordinate* we
@@ -43,7 +56,10 @@ ShrinkResult shrink_with_witness(const Graph& g, Node u, Node v) {
       const Node a2 = g.step(a, p).to;
       const Node b2 = g.step(b, p).to;
       const std::uint64_t id2 = pair_id(a2, b2);
-      if (parents.emplace(id2, Parent{id, p}).second) queue.push(id2);
+      if (parents[id2].from == kNoPair) {
+        parents[id2] = Parent{id, p};
+        queue.push(id2);
+      }
     }
   }
 
@@ -70,12 +86,20 @@ ShrinkResult shrink_with_witness(const Graph& g, Node u, Node v) {
     }
   }
 
+  if (out.shrink == graph::kUnreachable) {
+    // Disconnected input: the two coordinates stay in their own
+    // components under every port sequence, so no reachable pair is at
+    // finite distance. Per the ShrinkResult contract there is no
+    // closest pair and no witness.
+    return out;
+  }
+
   // Reconstruct the witness port sequence.
   out.closest_u = static_cast<Node>(best_pair / n);
   out.closest_v = static_cast<Node>(best_pair % n);
   std::uint64_t cursor = best_pair;
   while (cursor != start) {
-    const Parent& p = parents.at(cursor);
+    const Parent& p = parents[cursor];
     out.witness.push_back(p.port);
     cursor = p.from;
   }
@@ -85,6 +109,117 @@ ShrinkResult shrink_with_witness(const Graph& g, Node u, Node v) {
 
 std::uint32_t shrink(const Graph& g, Node u, Node v) {
   return shrink_with_witness(g, u, v).shrink;
+}
+
+AllPairsShrink shrink_all_pairs(const Graph& g) {
+  all_pairs_runs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t n = g.size();
+  AllPairsShrink out;
+  out.n = n;
+  out.values.assign(static_cast<std::size_t>(n) * n, graph::kUnreachable);
+  if (n == 0) return out;
+
+  // Canonical (unordered) pair id: min coordinate first. Swapping
+  // coordinates maps product walks onto product walks and dist is
+  // symmetric, so Shrink(u, v) == Shrink(v, u); the sweep works on
+  // unordered pairs and mirrors both orders at the end.
+  const auto canon_id = [n](Node a, Node b) -> std::uint64_t {
+    return a <= b ? static_cast<std::uint64_t>(a) * n + b
+                  : static_cast<std::uint64_t>(b) * n + a;
+  };
+
+  // Pass 1: one flat BFS row per source a fills D(a, b) for every b —
+  // the row serves both (a, b) and (b, a). Pairs are bucketed by their
+  // own distance; bucket d seeds the sweep's level d.
+  std::vector<std::vector<std::uint64_t>> buckets;
+  for (Node a = 0; a < n; ++a) {
+    const std::vector<std::uint32_t> dist = graph::bfs_distances(g, a);
+    for (Node b = a; b < n; ++b) {
+      const std::uint32_t d = dist[b];
+      if (d == graph::kUnreachable) continue;
+      if (d >= buckets.size()) buckets.resize(d + 1);
+      buckets[d].push_back(static_cast<std::uint64_t>(a) * n + b);
+    }
+  }
+
+  // Pass 2: reverse product adjacency as a flat CSR keyed by
+  // (node, port): rev_nodes[rev_off[x*maxdeg+p] ..] = all a with
+  // succ(a, p) == x. The ordered predecessors of a pair (a', b') under
+  // port p are exactly rev[a'][p] x rev[b'][p] (p is applicable at a
+  // predecessor iff both nodes own port p, which membership implies).
+  const Port maxdeg = g.max_degree();
+  std::vector<std::uint32_t> rev_off(
+      static_cast<std::size_t>(n) * maxdeg + 1, 0);
+  for (Node a = 0; a < n; ++a)
+    for (Port p = 0; p < g.degree(a); ++p)
+      ++rev_off[static_cast<std::size_t>(g.step(a, p).to) * maxdeg + p + 1];
+  for (std::size_t i = 1; i < rev_off.size(); ++i) rev_off[i] += rev_off[i - 1];
+  std::vector<Node> rev_nodes(rev_off.back());
+  {
+    std::vector<std::uint32_t> cursor(rev_off.begin(), rev_off.end() - 1);
+    for (Node a = 0; a < n; ++a)
+      for (Port p = 0; p < g.degree(a); ++p)
+        rev_nodes[cursor[static_cast<std::size_t>(g.step(a, p).to) * maxdeg +
+                         p]++] = a;
+  }
+
+  // Pass 3: level-ordered backward closure over the pair space.
+  // Processing levels in increasing d keeps the assignment exact: any
+  // pair that can reach some pair at distance d' < d was already
+  // finalized while level d' drained, so a pair first reached at level
+  // d has minimum reachable distance exactly d. Each product edge is
+  // traversed once, giving the O(n^2 * max_degree) total.
+  std::vector<std::uint64_t> queue;
+  std::uint64_t visited = 0;
+  for (std::uint32_t d = 0; d < buckets.size(); ++d) {
+    queue.clear();
+    for (const std::uint64_t id : buckets[d])
+      if (out.values[id] == graph::kUnreachable) {
+        out.values[id] = d;
+        queue.push_back(id);
+      }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint64_t id = queue[head];
+      ++visited;
+      const Node a2 = static_cast<Node>(id / n);
+      const Node b2 = static_cast<Node>(id % n);
+      for (Port p = 0; p < maxdeg; ++p) {
+        const std::uint32_t a_begin =
+            rev_off[static_cast<std::size_t>(a2) * maxdeg + p];
+        const std::uint32_t a_end =
+            rev_off[static_cast<std::size_t>(a2) * maxdeg + p + 1];
+        const std::uint32_t b_begin =
+            rev_off[static_cast<std::size_t>(b2) * maxdeg + p];
+        const std::uint32_t b_end =
+            rev_off[static_cast<std::size_t>(b2) * maxdeg + p + 1];
+        for (std::uint32_t i = a_begin; i < a_end; ++i)
+          for (std::uint32_t j = b_begin; j < b_end; ++j) {
+            const std::uint64_t id2 = canon_id(rev_nodes[i], rev_nodes[j]);
+            if (out.values[id2] == graph::kUnreachable) {
+              out.values[id2] = d;
+              queue.push_back(id2);
+            }
+          }
+      }
+    }
+  }
+  out.pairs_explored = visited;
+
+  // Mirror the canonical triangle onto both orders (cross-component
+  // pairs stay kUnreachable on both sides).
+  for (Node a = 0; a < n; ++a)
+    for (Node b = a + 1; b < n; ++b)
+      out.values[static_cast<std::size_t>(b) * n + a] =
+          out.values[static_cast<std::size_t>(a) * n + b];
+  return out;
+}
+
+std::uint64_t shrink_pair_bfs_count() noexcept {
+  return pair_bfs_runs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t shrink_all_pairs_compute_count() noexcept {
+  return all_pairs_runs.load(std::memory_order_relaxed);
 }
 
 }  // namespace rdv::views

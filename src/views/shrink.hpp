@@ -13,12 +13,17 @@
 namespace rdv::views {
 
 struct ShrinkResult {
-  /// The Shrink value (graph::kUnreachable never occurs: the empty
-  /// sequence witnesses dist(u, v)).
+  /// The Shrink value. On a connected graph this is finite (the empty
+  /// sequence already witnesses dist(u, v)); when u and v lie in
+  /// different components every reachable pair stays split across them,
+  /// so shrink == graph::kUnreachable, the witness is empty, and
+  /// closest_u/closest_v are graph::kNoNode.
   std::uint32_t shrink = 0;
-  /// A shortest-in-BFS-order port sequence achieving it.
+  /// A shortest-in-BFS-order port sequence achieving it (empty when
+  /// unreachable).
   std::vector<graph::Port> witness;
-  /// The closest reachable pair (alpha(u), alpha(v)).
+  /// The closest reachable pair (alpha(u), alpha(v)); graph::kNoNode
+  /// when unreachable.
   graph::Node closest_u = graph::kNoNode;
   graph::Node closest_v = graph::kNoNode;
   /// Number of ordered pairs explored by the product BFS (cost metric).
@@ -36,5 +41,39 @@ struct ShrinkResult {
 /// Just the value.
 [[nodiscard]] std::uint32_t shrink(const graph::Graph& g, graph::Node u,
                                    graph::Node v);
+
+/// Shrink for every ordered pair of one graph, as a flat n x n table.
+struct AllPairsShrink {
+  std::uint32_t n = 0;
+  /// values[u * n + v] = Shrink(u, v). Symmetric (Shrink(u, v) ==
+  /// Shrink(v, u): swapping coordinates maps product walks onto product
+  /// walks and dist is symmetric); diagonal is 0; cross-component pairs
+  /// hold graph::kUnreachable.
+  std::vector<std::uint32_t> values;
+  /// Unordered pairs visited by the level sweep (cost metric, the
+  /// batched analog of ShrinkResult::pairs_explored).
+  std::uint64_t pairs_explored = 0;
+
+  [[nodiscard]] std::uint32_t at(graph::Node u, graph::Node v) const {
+    return values[static_cast<std::size_t>(u) * n + v];
+  }
+};
+
+/// Batched all-pairs Shrink: one flat-array BFS sweep per source fills
+/// the distance rows (each row serves both (u,v) and (v,u)), then a
+/// single level-ordered backward propagation over the unordered pair
+/// space assigns Shrink(u, v) = d to every pair first reached at level
+/// d. Each product edge is traversed once, so the whole table costs
+/// O(n^2 * max_degree) — the price of ONE per-pair product BFS — with
+/// flat vectors and a bitset instead of hash maps on the hot path.
+/// shrink_with_witness remains the witness-reconstruction fallback and
+/// the oracle this kernel is verified against.
+[[nodiscard]] AllPairsShrink shrink_all_pairs(const graph::Graph& g);
+
+/// Process-wide counters (monotone, thread-safe) so tests and CI can
+/// assert the census path never falls back to per-pair product BFS and
+/// that warm store runs recompute nothing.
+[[nodiscard]] std::uint64_t shrink_pair_bfs_count() noexcept;
+[[nodiscard]] std::uint64_t shrink_all_pairs_compute_count() noexcept;
 
 }  // namespace rdv::views

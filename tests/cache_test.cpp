@@ -240,6 +240,62 @@ TEST(ArtifactCache, ShrinkComputedOncePerPairAndMatchesDirect) {
   EXPECT_GT(stats.shrink.bytes, 0u);
 }
 
+TEST(ArtifactCache, AllPairsShrinkComputedOncePerGraphAndMatchesOracle) {
+  ArtifactCache cache;
+  const graph::Graph g = families::random_connected(9, 10, 51);
+  const auto first = cache.all_pairs_shrink(g);
+  const auto again = cache.all_pairs_shrink(g);
+  EXPECT_EQ(first.get(), again.get());
+  ASSERT_EQ(first->n, g.size());
+  for (graph::Node u = 0; u < g.size(); ++u) {
+    for (graph::Node v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(first->at(u, v), views::shrink(g, u, v));
+    }
+  }
+  const graph::Graph h = families::oriented_ring(9);
+  EXPECT_NE(cache.all_pairs_shrink(h).get(), first.get());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.all_pairs_shrink.misses, 2u);
+  EXPECT_EQ(stats.all_pairs_shrink.hits, 1u);
+  EXPECT_GT(stats.all_pairs_shrink.bytes, 0u);
+
+  const auto via_helper = cached_all_pairs_shrink(g, &cache);
+  EXPECT_EQ(via_helper.get(), first.get());
+}
+
+TEST(ArtifactCache, DiskKeysNeverTruncateOrCollideOnWideKeys) {
+  // Regression: disk_key once rendered into a fixed char[64]; a wider
+  // key layout (or future format growth) would have silently truncated
+  // into colliding prefixes. Keys are std::string-built now — pin full
+  // width and pairwise distinctness on adversarially extreme values.
+  GraphFingerprint wide;
+  wide.hi = ~0ull;
+  wide.lo = ~0ull;
+  wide.n = ~0u;
+  const std::string fp_key = ArtifactCache::disk_key(wide);
+  EXPECT_EQ(fp_key,
+            "fp-ffffffffffffffff-ffffffffffffffff-n4294967295");
+
+  ShrinkKey pair_key;
+  pair_key.fp = wide;
+  pair_key.u = ~0u;
+  pair_key.v = ~0u;
+  const std::string widest = ArtifactCache::disk_key(pair_key);
+  // Longer than the old buffer could hold, yet every component intact.
+  EXPECT_GT(widest.size(), 63u);
+  EXPECT_NE(widest.find("u4294967295"), std::string::npos);
+  EXPECT_NE(widest.find("v4294967295"), std::string::npos);
+
+  // Distinct keys that agree on every leading component must stay
+  // distinct — the collision a truncating formatter produces.
+  ShrinkKey other = pair_key;
+  other.v = ~0u - 1;
+  EXPECT_NE(ArtifactCache::disk_key(other), widest);
+  GraphFingerprint other_fp = wide;
+  other_fp.n = ~0u - 1;
+  EXPECT_NE(ArtifactCache::disk_key(other_fp), fp_key);
+}
+
 TEST(CachedEntryPoints, CachedShrinkResolvesThroughExplicitCache) {
   ArtifactCache cache;
   const graph::Graph g = families::oriented_torus(3, 3);

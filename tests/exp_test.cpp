@@ -6,9 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <iterator>
+
 #include "cache/artifact_cache.hpp"
 #include "exp/scenarios/scenarios.hpp"
+#include "store/result_log.hpp"
 #include "support/thread_pool.hpp"
+#include "views/shrink.hpp"
 
 namespace rdv::exp {
 namespace {
@@ -32,7 +37,8 @@ TEST(Registry, BuiltinRegistersEveryPaperExperiment) {
       "t5_universal_time",      "t6_lower_bound_qhat",
       "t7_infeasible_stics",    "t8_uxs_ablation",
       "t9_label_ablation",      "t10_optimal_crossover",
-      "t11_randomized_baseline", "f1_qhat_construction"};
+      "t11_randomized_baseline", "f1_qhat_construction",
+      "c1_random_census",       "c2_implicit_census"};
   for (const char* id : ids) {
     const Experiment* e = registry.find(id);
     ASSERT_NE(e, nullptr) << id;
@@ -146,6 +152,74 @@ TEST(ExpDeterminism, ByteIdenticalAcrossThreadsChunksAndCacheConfigs) {
       EXPECT_EQ(outputs[0], outputs[i]) << "variant " << i;
     }
   }
+}
+
+/// The census acceptance bar: streamed detail records reach the result
+/// log byte-identically at every thread count (OrderedResultStream
+/// re-serializes completion order into case order, and streamed records
+/// carry no wall-clock), and the census path never falls back to the
+/// per-pair product BFS — everything resolves through the batched
+/// all-pairs kernel.
+TEST(ExpCensusStreaming, LogBytesIdenticalAcrossThreadCounts) {
+  const char* census_ids[] = {"c1_random_census", "c2_implicit_census"};
+  for (const char* id : census_ids) {
+    SCOPED_TRACE(id);
+    const Experiment* e = builtin_registry().find(id);
+    ASSERT_NE(e, nullptr);
+    std::vector<std::string> logs;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const std::string path = ::testing::TempDir() + "census_stream_" +
+                               std::string(id) + "_t" +
+                               std::to_string(threads) + ".rdvl";
+      cache::ArtifactCache cache;
+      support::ThreadPool pool(threads);
+      ExpContext ctx;
+      ctx.scale = Scale::kQuick;
+      ctx.sweep.pool = &pool;
+      ctx.sweep.cache = &cache;
+      store::ResultLogWriter writer(path);
+      ASSERT_TRUE(writer.ok());
+      store::OrderedResultStream stream(writer);
+      ctx.stream = &stream;
+      const ExpOutput output = run_experiment(*e, ctx);
+      EXPECT_GE(output.table.row_count(), 1u);
+      EXPECT_GT(stream.flushed(), 0u);
+      EXPECT_EQ(stream.pending(), 0u);
+      std::ifstream in(path, std::ios::binary);
+      logs.emplace_back(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+      std::filesystem::remove(path);
+    }
+    ASSERT_EQ(logs.size(), 2u);
+    EXPECT_FALSE(logs[0].empty());
+    EXPECT_EQ(logs[0], logs[1]);
+    // Every streamed record round-trips through the strict reader.
+    const std::string replay = ::testing::TempDir() + "census_replay.rdvl";
+    {
+      std::ofstream out(replay, std::ios::binary | std::ios::trunc);
+      out.write(logs[0].data(),
+                static_cast<std::streamsize>(logs[0].size()));
+    }
+    EXPECT_FALSE(store::read_result_log(replay).empty());
+    std::filesystem::remove(replay);
+  }
+}
+
+TEST(ExpCensusStreaming, CensusPathNeverRunsPerPairBfs) {
+  const Experiment* e = builtin_registry().find("c1_random_census");
+  ASSERT_NE(e, nullptr);
+  cache::ArtifactCache cache;
+  support::ThreadPool pool(2);
+  ExpContext ctx;
+  ctx.scale = Scale::kSmoke;
+  ctx.sweep.pool = &pool;
+  ctx.sweep.cache = &cache;
+  const std::uint64_t pair_before = views::shrink_pair_bfs_count();
+  const std::uint64_t batch_before = views::shrink_all_pairs_compute_count();
+  const ExpOutput output = run_experiment(*e, ctx);
+  EXPECT_GE(output.table.row_count(), 1u);
+  EXPECT_EQ(views::shrink_pair_bfs_count(), pair_before);
+  EXPECT_GT(views::shrink_all_pairs_compute_count(), batch_before);
 }
 
 TEST(ExpSmoke, EveryExperimentProducesRowsAtSmokeScale) {

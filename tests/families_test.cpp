@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
 #include "graph/families/families.hpp"
+#include "graph/families/implicit.hpp"
+#include "graph/graph.hpp"
 
 namespace rdv::graph::families {
 namespace {
@@ -163,6 +169,81 @@ TEST(RandomConnected, ValidDeterministicAndSized) {
     EXPECT_EQ(g.edge_count(), 14u + 10u);
   }
   EXPECT_THROW(random_connected(5, 100, 1), std::invalid_argument);
+}
+
+// ---- implicit (non-materialized) twins ------------------------------
+
+/// Every implicit topology must match its explicit generator EXACTLY —
+/// step and degree node by node, port by port — plus agree on the two
+/// closed forms (distance, distance_histogram) the implicit census
+/// relies on instead of BFS.
+template <typename Topo>
+void expect_matches_explicit(const Topo& topo, const Graph& g) {
+  ASSERT_EQ(topo.size(), g.size());
+  EXPECT_EQ(topo.edge_count(), g.edge_count());
+  for (Node v = 0; v < g.size(); ++v) {
+    ASSERT_EQ(topo.degree(v), g.degree(v)) << v;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(topo.step(v, p).to, g.step(v, p).to) << v << ":" << p;
+      EXPECT_EQ(topo.step(v, p).entry_port, g.step(v, p).entry_port)
+          << v << ":" << p;
+    }
+  }
+  // distance() vs BFS on the explicit twin, and the histogram vs
+  // source-0 distance counts (vertex-transitive: any source works).
+  const std::vector<std::uint32_t> d0 = bfs_distances(g, 0);
+  std::vector<std::uint64_t> counts;
+  for (Node v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(topo.distance(0, v), d0[v]) << v;
+    EXPECT_EQ(topo.distance(v, 0), d0[v]) << v;
+    if (d0[v] >= counts.size()) counts.resize(d0[v] + 1, 0);
+    if (v != 0) ++counts[d0[v]];
+  }
+  counts[0] = 0;  // histogram convention: counts[0] excluded
+  EXPECT_EQ(topo.distance_histogram(), counts);
+}
+
+TEST(ImplicitRing, MatchesExplicitTwin) {
+  for (std::uint32_t n : {3u, 6u, 7u, 12u}) {
+    SCOPED_TRACE(n);
+    expect_matches_explicit(OrientedRingTopology(n), oriented_ring(n));
+  }
+  EXPECT_THROW(OrientedRingTopology(2), std::invalid_argument);
+}
+
+TEST(ImplicitTorus, MatchesExplicitTwin) {
+  expect_matches_explicit(OrientedTorusTopology(3, 3), oriented_torus(3, 3));
+  expect_matches_explicit(OrientedTorusTopology(5, 4), oriented_torus(5, 4));
+  expect_matches_explicit(OrientedTorusTopology(4, 6), oriented_torus(4, 6));
+  EXPECT_THROW(OrientedTorusTopology(2, 5), std::invalid_argument);
+}
+
+TEST(ImplicitHypercube, MatchesExplicitTwin) {
+  for (std::uint32_t dim : {1u, 3u, 5u}) {
+    SCOPED_TRACE(dim);
+    expect_matches_explicit(HypercubeTopology(dim), hypercube(dim));
+  }
+  EXPECT_THROW(HypercubeTopology(0), std::invalid_argument);
+  EXPECT_THROW(HypercubeTopology(26), std::invalid_argument);
+}
+
+TEST(ImplicitFamilies, HistogramsSumToAllPairsAtCensusScale) {
+  // Beyond explicit reach: the histogram still covers every other node
+  // exactly once, so the implicit census's pair counts are exact.
+  const OrientedRingTopology ring(4096);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : ring.distance_histogram()) total += c;
+  EXPECT_EQ(total, 4095u);
+
+  const HypercubeTopology cube(12);
+  total = 0;
+  for (const std::uint64_t c : cube.distance_histogram()) total += c;
+  EXPECT_EQ(total, (1u << 12) - 1u);
+
+  const OrientedTorusTopology torus(48, 48);
+  total = 0;
+  for (const std::uint64_t c : torus.distance_histogram()) total += c;
+  EXPECT_EQ(total, 48u * 48u - 1u);
 }
 
 }  // namespace

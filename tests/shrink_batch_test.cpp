@@ -1,0 +1,230 @@
+// Equivalence and determinism suite for the batched all-pairs Shrink
+// kernel (views::shrink_all_pairs): the per-pair product BFS
+// (shrink_with_witness) is the oracle, the batched level-ordered
+// backward closure must agree on EVERY ordered pair of every family,
+// through every cache/store/thread configuration the census runs
+// under.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "graph/families/families.hpp"
+#include "graph/families/implicit.hpp"
+#include "graph/graph.hpp"
+#include "store/disk_store.hpp"
+#include "views/shrink.hpp"
+
+namespace rdv::views {
+namespace {
+
+using graph::Graph;
+using graph::Node;
+namespace families = rdv::graph::families;
+
+std::vector<Graph> equivalence_corpus() {
+  std::vector<Graph> corpus;
+  corpus.push_back(families::two_node_graph());
+  corpus.push_back(families::oriented_ring(7));
+  corpus.push_back(families::oriented_ring(8));
+  corpus.push_back(families::scrambled_ring(9, /*seed=*/5));
+  corpus.push_back(families::path_graph(9));
+  corpus.push_back(families::complete(6));
+  corpus.push_back(families::star(7));
+  corpus.push_back(families::grid(3, 4));
+  corpus.push_back(families::complete_bipartite(3, 4));
+  corpus.push_back(families::oriented_torus(3, 4));
+  corpus.push_back(families::hypercube(3));
+  corpus.push_back(families::symmetric_double_tree(2, 2));
+  corpus.push_back(families::balanced_tree(3, 2));
+  corpus.push_back(families::ring_with_chord(10));
+  corpus.push_back(families::random_connected(14, 12, 71));
+  corpus.push_back(families::random_connected(17, 30, 72));
+  return corpus;
+}
+
+TEST(ShrinkAllPairs, MatchesPerPairOracleOnEveryFamily) {
+  for (const Graph& g : equivalence_corpus()) {
+    SCOPED_TRACE(g.name());
+    const AllPairsShrink all = shrink_all_pairs(g);
+    ASSERT_EQ(all.n, g.size());
+    ASSERT_EQ(all.values.size(),
+              static_cast<std::size_t>(g.size()) * g.size());
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = 0; v < g.size(); ++v) {
+        EXPECT_EQ(all.at(u, v), shrink(g, u, v))
+            << "pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(ShrinkAllPairs, SymmetricWithZeroDiagonal) {
+  for (const Graph& g : equivalence_corpus()) {
+    SCOPED_TRACE(g.name());
+    const AllPairsShrink all = shrink_all_pairs(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      EXPECT_EQ(all.at(u, u), 0u);
+      for (Node v = u + 1; v < g.size(); ++v) {
+        EXPECT_EQ(all.at(u, v), all.at(v, u))
+            << "pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(ShrinkAllPairs, ExploresAtLeastReachablePairCount) {
+  const Graph g = families::oriented_ring(8);
+  const AllPairsShrink all = shrink_all_pairs(g);
+  // Every ordered pair of a connected graph is reachable in the product
+  // graph from itself, so the closure visits at least the canonical
+  // (upper-triangle + diagonal) pair count.
+  EXPECT_GE(all.pairs_explored, 8ull * 9 / 2);
+}
+
+TEST(ShrinkAllPairs, DisconnectedCrossComponentPairsAreUnreachable) {
+  // Two disjoint 2-cycles, built through the public Graph constructor
+  // (GraphBuilder would reject the disconnectivity).
+  std::vector<std::vector<graph::HalfEdge>> adj(4);
+  adj[0] = {{1, 0}};
+  adj[1] = {{0, 0}};
+  adj[2] = {{3, 0}};
+  adj[3] = {{2, 0}};
+  const Graph g(std::move(adj), "two-edges");
+  const AllPairsShrink all = shrink_all_pairs(g);
+  for (Node u = 0; u < 4; ++u) {
+    for (Node v = 0; v < 4; ++v) {
+      const bool same_component = (u / 2) == (v / 2);
+      if (same_component) {
+        EXPECT_NE(all.at(u, v), graph::kUnreachable) << u << "," << v;
+        EXPECT_EQ(all.at(u, v), shrink(g, u, v)) << u << "," << v;
+      } else {
+        EXPECT_EQ(all.at(u, v), graph::kUnreachable) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(ShrinkAllPairs, ImplicitFamiliesPinShrinkEqualsDistance) {
+  // The implicit census (c2) classifies STICs via Shrink == dist on
+  // vertex-transitive families. Pin that identity against the batched
+  // kernel on the explicit twins.
+  {
+    const families::OrientedRingTopology ring(9);
+    const Graph g = families::oriented_ring(9);
+    const AllPairsShrink all = shrink_all_pairs(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = 0; v < g.size(); ++v) {
+        EXPECT_EQ(all.at(u, v), ring.distance(u, v)) << u << "," << v;
+      }
+    }
+  }
+  {
+    const families::OrientedTorusTopology torus(3, 4);
+    const Graph g = families::oriented_torus(3, 4);
+    const AllPairsShrink all = shrink_all_pairs(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = 0; v < g.size(); ++v) {
+        EXPECT_EQ(all.at(u, v), torus.distance(u, v)) << u << "," << v;
+      }
+    }
+  }
+  {
+    const families::HypercubeTopology cube(4);
+    const Graph g = families::hypercube(4);
+    const AllPairsShrink all = shrink_all_pairs(g);
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = 0; v < g.size(); ++v) {
+        EXPECT_EQ(all.at(u, v), cube.distance(u, v)) << u << "," << v;
+      }
+    }
+  }
+}
+
+/// The census determinism contract: resolving the all-pairs table
+/// through the cache from many threads, with the cache enabled,
+/// disabled, or eviction-thrashed, always yields the same values —
+/// byte-identical once serialized into census rows.
+TEST(ShrinkAllPairs, IdenticalValuesAcrossThreadsAndCacheConfigs) {
+  const Graph g = families::random_connected(20, 30, 73);
+  const AllPairsShrink reference = shrink_all_pairs(g);
+
+  cache::CacheConfig off;
+  off.enabled = false;
+  cache::CacheConfig tiny;
+  tiny.shards = 1;
+  tiny.capacity_per_shard = 1;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{16}}) {
+    for (const cache::CacheConfig& config :
+         {cache::CacheConfig{}, off, tiny}) {
+      cache::ArtifactCache cache(config);
+      std::vector<std::vector<std::uint32_t>> seen(threads);
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          const auto all = cache::cached_all_pairs_shrink(g, &cache);
+          seen[t] = all->values;
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      for (std::size_t t = 0; t < threads; ++t) {
+        EXPECT_EQ(seen[t], reference.values)
+            << threads << " threads, thread " << t;
+      }
+    }
+  }
+}
+
+TEST(ShrinkAllPairs, WarmStoreRerunRecomputesNothing) {
+  const std::string root =
+      ::testing::TempDir() + "shrink_batch_warm_store";
+  std::filesystem::remove_all(root);
+  const Graph g = families::random_connected(12, 14, 74);
+
+  store::DiskConfig disk_config;
+  disk_config.root = root;
+
+  // Cold run: one batched compute, persisted write-behind.
+  const std::uint64_t before = shrink_all_pairs_compute_count();
+  std::vector<std::uint32_t> cold_values;
+  {
+    cache::CacheConfig config;
+    config.disk = std::make_shared<store::DiskStore>(disk_config);
+    cache::ArtifactCache cache(config);
+    cold_values = cache::cached_all_pairs_shrink(g, &cache)->values;
+    EXPECT_EQ(shrink_all_pairs_compute_count(), before + 1);
+    EXPECT_EQ(cache.stats().all_pairs_shrink.misses, 1u);
+  }
+
+  // Warm run in a fresh process image (new cache, same store): the
+  // artifact decodes from disk — ZERO batched recomputes.
+  {
+    cache::CacheConfig config;
+    config.disk = std::make_shared<store::DiskStore>(disk_config);
+    cache::ArtifactCache cache(config);
+    const auto warm = cache::cached_all_pairs_shrink(g, &cache);
+    EXPECT_EQ(warm->values, cold_values);
+    EXPECT_EQ(shrink_all_pairs_compute_count(), before + 1);
+    EXPECT_EQ(config.disk->stats(store::Kind::kShrinkAllPairs).hits, 1u);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(ShrinkAllPairs, PairBfsCounterOnlyCountsPerPairCalls) {
+  const Graph g = families::oriented_ring(6);
+  const std::uint64_t pair_before = shrink_pair_bfs_count();
+  const std::uint64_t batch_before = shrink_all_pairs_compute_count();
+  (void)shrink_all_pairs(g);
+  EXPECT_EQ(shrink_pair_bfs_count(), pair_before);
+  EXPECT_EQ(shrink_all_pairs_compute_count(), batch_before + 1);
+  (void)shrink(g, 0, 3);
+  EXPECT_EQ(shrink_pair_bfs_count(), pair_before + 1);
+}
+
+}  // namespace
+}  // namespace rdv::views

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "graph/families/families.hpp"
 #include "graph/families/qhat.hpp"
 #include "graph/walk.hpp"
@@ -117,6 +121,91 @@ TEST(Shrink, CompleteGraphIsAtMostOne) {
   const Graph g = families::complete(5);
   for (Node v = 1; v < 5; ++v) {
     EXPECT_LE(shrink(g, 0, v), 1u);
+  }
+}
+
+TEST(Shrink, DisconnectedPairReturnsUnreachableWithEmptyWitness) {
+  // Regression: the old implementation scanned for a "closest" pair
+  // even when no product state was reachable, fabricating a bogus
+  // witness for a disconnected input. The contract is now explicit:
+  // shrink == kUnreachable, empty witness, closest == kNoNode. Built
+  // through the public Graph constructor — GraphBuilder rejects
+  // disconnected graphs, shrink_with_witness must still be total.
+  std::vector<std::vector<graph::HalfEdge>> adj(4);
+  adj[0] = {{1, 0}};
+  adj[1] = {{0, 0}};
+  adj[2] = {{3, 0}};
+  adj[3] = {{2, 0}};
+  const Graph g(std::move(adj), "two-edges");
+  const ShrinkResult r = shrink_with_witness(g, 0, 2);
+  EXPECT_EQ(r.shrink, graph::kUnreachable);
+  EXPECT_TRUE(r.witness.empty());
+  EXPECT_EQ(r.closest_u, graph::kNoNode);
+  EXPECT_EQ(r.closest_v, graph::kNoNode);
+
+  // Same-component pairs on the same graph still resolve normally.
+  const ShrinkResult same = shrink_with_witness(g, 0, 1);
+  EXPECT_EQ(same.shrink, 1u);
+}
+
+TEST(Shrink, FlatParentTableMatchesReferenceBfs) {
+  // The parent table moved from unordered_map<uint64_t, Parent> to a
+  // flat vector keyed by pair id. Pin the refactor against a
+  // test-local reference BFS over the product graph: same minimum
+  // distance, and the returned witness still walks both agents to a
+  // closest pair at exactly that distance.
+  const std::vector<Graph> corpus = {
+      families::random_connected(10, 14, 41),
+      families::scrambled_ring(9, 6),
+      families::grid(3, 3),
+  };
+  for (const Graph& g : corpus) {
+    const std::vector<std::vector<std::uint32_t>> dist = [&g] {
+      std::vector<std::vector<std::uint32_t>> d;
+      d.reserve(g.size());
+      for (Node v = 0; v < g.size(); ++v) {
+        d.push_back(graph::bfs_distances(g, v));
+      }
+      return d;
+    }();
+    for (Node u = 0; u < g.size(); ++u) {
+      for (Node v = u + 1; v < g.size(); ++v) {
+        // Reference: plain queue BFS over product states (a, b).
+        const std::size_t n = g.size();
+        std::vector<char> seen(n * n, 0);
+        std::vector<std::uint64_t> frontier = {u * n + v};
+        seen[u * n + v] = 1;
+        std::uint32_t best = dist[u][v];
+        while (!frontier.empty()) {
+          std::vector<std::uint64_t> next;
+          for (const std::uint64_t id : frontier) {
+            const Node a = static_cast<Node>(id / n);
+            const Node b = static_cast<Node>(id % n);
+            best = std::min(best, dist[a][b]);
+            const graph::Port ports =
+                std::min(g.degree(a), g.degree(b));
+            for (graph::Port p = 0; p < ports; ++p) {
+              const std::uint64_t to =
+                  static_cast<std::uint64_t>(g.step(a, p).to) * n +
+                  g.step(b, p).to;
+              if (seen[to] == 0) {
+                seen[to] = 1;
+                next.push_back(to);
+              }
+            }
+          }
+          frontier = std::move(next);
+        }
+        const ShrinkResult r = shrink_with_witness(g, u, v);
+        ASSERT_EQ(r.shrink, best) << g.name() << " " << u << "," << v;
+        const auto a = graph::apply_ports(g, u, r.witness);
+        const auto b = graph::apply_ports(g, v, r.witness);
+        ASSERT_TRUE(a && b);
+        EXPECT_EQ(*a, r.closest_u);
+        EXPECT_EQ(*b, r.closest_v);
+        EXPECT_EQ(graph::distance(g, *a, *b), r.shrink);
+      }
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include "graph/families/families.hpp"
 #include "store/codec.hpp"
 #include "store/disk_store.hpp"
+#include "store/log_tools.hpp"
 #include "store/result_log.hpp"
 #include "uxs/corpus.hpp"
 #include "views/quotient.hpp"
@@ -584,6 +585,132 @@ TEST(ResultLog, DetectsTruncationCorruptionAndBadHeader) {
 
   // Missing file.
   EXPECT_THROW(read_result_log(path + ".nope"), CodecError);
+}
+
+TEST(Codec, AllPairsShrinkRoundTripsAndRejectsBadShape) {
+  const graph::Graph g = families::random_connected(8, 9, 61);
+  const views::AllPairsShrink a = views::shrink_all_pairs(g);
+  const views::AllPairsShrink a2 =
+      decode_all_pairs_shrink(encode_all_pairs_shrink(a));
+  EXPECT_EQ(a.n, a2.n);
+  EXPECT_EQ(a.values, a2.values);
+  EXPECT_EQ(a.pairs_explored, a2.pairs_explored);
+  EXPECT_EQ(encode_all_pairs_shrink(a), encode_all_pairs_shrink(a2));
+
+  const std::string ok = encode_all_pairs_shrink(a);
+  EXPECT_THROW(decode_all_pairs_shrink(ok.substr(0, ok.size() - 3)),
+               CodecError);
+  EXPECT_THROW(decode_all_pairs_shrink(ok + "z"), CodecError);
+  EXPECT_THROW(decode_all_pairs_shrink(""), CodecError);
+  // Well-formed stream whose table is not n x n.
+  views::AllPairsShrink skewed = a;
+  skewed.values.pop_back();
+  EXPECT_THROW(decode_all_pairs_shrink(encode_all_pairs_shrink(skewed)),
+               CodecError);
+}
+
+TEST(OrderedResultStream, FlushesContiguousPrefixInIndexOrder) {
+  const std::string path = fresh_dir("logstream") + "/results.rdvl";
+  std::vector<ResultRecord> collected;
+  {
+    ResultLogWriter writer(path);
+    OrderedResultStream stream(writer, &collected);
+    // Submit out of order: 2 and 1 must wait for 0.
+    stream.submit(2, sample_record(2));
+    EXPECT_EQ(stream.flushed(), 0u);
+    EXPECT_EQ(stream.pending(), 1u);
+    stream.submit(1, sample_record(1));
+    EXPECT_EQ(stream.flushed(), 0u);
+    EXPECT_EQ(stream.pending(), 2u);
+    stream.submit(0, sample_record(0));
+    EXPECT_EQ(stream.flushed(), 3u);
+    EXPECT_EQ(stream.pending(), 0u);
+    // Duplicates and already-flushed indices are dropped.
+    stream.submit(1, sample_record(9));
+    EXPECT_EQ(stream.flushed(), 3u);
+    stream.submit(3, sample_record(3));
+    EXPECT_EQ(stream.flushed(), 4u);
+  }
+  const std::vector<ResultRecord> read = read_result_log(path);
+  ASSERT_EQ(read.size(), 4u);
+  ASSERT_EQ(collected.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(encode_result_record(read[static_cast<std::size_t>(i)]),
+              encode_result_record(sample_record(i)));
+    EXPECT_EQ(
+        encode_result_record(collected[static_cast<std::size_t>(i)]),
+        encode_result_record(sample_record(i)));
+  }
+}
+
+TEST(OrderedResultStream, ConcurrentSubmittersProduceOneOrdering) {
+  const std::string base = fresh_dir("logstreamconc");
+  constexpr int kRecords = 64;
+  std::vector<std::string> files;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const std::string path =
+        base + "/t" + std::to_string(threads) + ".rdvl";
+    ResultLogWriter writer(path);
+    OrderedResultStream stream(writer);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = static_cast<int>(t); i < kRecords;
+             i += static_cast<int>(threads)) {
+          stream.submit(static_cast<std::size_t>(i), sample_record(i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(stream.flushed(), static_cast<std::size_t>(kRecords));
+    EXPECT_EQ(stream.pending(), 0u);
+    files.push_back(path);
+  }
+  // Identical bytes no matter how many threads raced the submits.
+  EXPECT_EQ(read_file(files[0]), read_file(files[1]));
+}
+
+TEST(LogTools, CsvAndJsonRenderingsAreWallStableByDefault) {
+  std::vector<ResultRecord> run_a = {sample_record(0), sample_record(1)};
+  std::vector<ResultRecord> run_b = run_a;
+  run_b[0].wall_micros = 999999;  // same tables, different timing
+
+  EXPECT_EQ(render_log_csv(run_a), render_log_csv(run_b));
+  EXPECT_EQ(render_log_json(run_a), render_log_json(run_b));
+  EXPECT_NE(render_log_csv(run_a, /*include_wall=*/true),
+            render_log_csv(run_b, /*include_wall=*/true));
+
+  const std::string csv = render_log_csv(run_a);
+  EXPECT_NE(csv.find("# record 0: exp_0"), std::string::npos);
+  EXPECT_NE(csv.find("graph,value"), std::string::npos);
+  const std::string json = render_log_json(run_a);
+  EXPECT_NE(json.find("\"experiment_id\": \"exp_0\""), std::string::npos);
+  // The quoted-cell row must survive JSON escaping.
+  EXPECT_NE(json.find("x,y|z\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(LogTools, DiffIgnoresWallByDefaultAndCatchesRealDivergence) {
+  std::vector<ResultRecord> run_a = {sample_record(0), sample_record(1)};
+  std::vector<ResultRecord> run_b = run_a;
+  run_b[1].wall_micros += 12345;
+
+  EXPECT_TRUE(diff_logs(run_a, run_b).identical);
+  const LogDiff strict = diff_logs(run_a, run_b, /*ignore_wall=*/false);
+  EXPECT_FALSE(strict.identical);
+  EXPECT_FALSE(strict.report.empty());
+
+  // A single changed cell is a real divergence under either mode.
+  run_b[1].wall_micros = run_a[1].wall_micros;
+  run_b[1].rows[0][1] = "changed";
+  const LogDiff cell = diff_logs(run_a, run_b);
+  EXPECT_FALSE(cell.identical);
+  EXPECT_NE(cell.report.find("exp_1"), std::string::npos);
+
+  // Length mismatch reports counts instead of walking records.
+  run_b.pop_back();
+  const LogDiff len = diff_logs(run_a, run_b);
+  EXPECT_FALSE(len.identical);
+  EXPECT_FALSE(len.report.empty());
 }
 
 }  // namespace
