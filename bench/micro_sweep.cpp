@@ -116,20 +116,27 @@ int main() {
       "micro_sweep", "M2: sweep runner, sequential vs pooled", table);
 
   // ---- M2b: pool scaling of the work-stealing scheduler --------------
-  // The same kernel on dedicated pools of 1..8 workers (deliberately
+  // The same kernel on dedicated pools of 1..16 workers (deliberately
   // past the core count: oversubscription must degrade gracefully, not
   // collapse), plus a nested variant — an outer sweep whose kernel
   // runs an inner sweep on the SAME pool, the t1/t2 shape that the
-  // work-assisting wait unlocked. One JSON datapoint per thread count.
+  // work-assisting wait unlocked. One JSON datapoint per thread count,
+  // carrying the scheduler counters (steals, parks, wakeups) the pool
+  // accumulated across both sweeps — the park/wakeup ratio is how a
+  // trend reader spots thundering-herd regressions at high counts.
   struct ScalePoint {
     std::size_t threads;
     double flat_ms;
     double nested_ms;
+    std::uint64_t steals;
+    std::uint64_t parks;
+    std::uint64_t wakeups;
   };
   std::vector<ScalePoint> scaling;
-  rdv::support::Table scale_table(
-      {"threads", "flat best ms", "flat STICs/s", "nested best ms"});
-  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+  rdv::support::Table scale_table({"threads", "flat best ms",
+                                   "flat STICs/s", "nested best ms",
+                                   "steals", "parks", "wakeups"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
     rdv::support::ThreadPool pool(threads);
     rdv::sweep::SweepConfig config;
     config.pool = &pool;
@@ -162,11 +169,16 @@ int main() {
       (void)rdv::sweep::sweep_map<std::uint64_t>(outer_cases, outer_case,
                                                  outer_config);
     });
-    scaling.push_back(ScalePoint{threads, flat_ms, nested_ms});
+    scaling.push_back(ScalePoint{threads, flat_ms, nested_ms,
+                                 pool.steal_count(), pool.park_count(),
+                                 pool.wakeup_count()});
     scale_table.add_row({std::to_string(threads),
                          rdv::support::format_double(flat_ms, 3),
                          rate(flat_ms, stics.size()),
-                         rdv::support::format_double(nested_ms, 3)});
+                         rdv::support::format_double(nested_ms, 3),
+                         std::to_string(pool.steal_count()),
+                         std::to_string(pool.park_count()),
+                         std::to_string(pool.wakeup_count())});
   }
   rdv::analysis::emit_table(
       "micro_sweep_scaling",
@@ -360,7 +372,10 @@ int main() {
     if (i != 0) json << ",";
     json << "{\"threads\":" << scaling[i].threads
          << ",\"flat_ms\":" << scaling[i].flat_ms
-         << ",\"nested_ms\":" << scaling[i].nested_ms << "}";
+         << ",\"nested_ms\":" << scaling[i].nested_ms
+         << ",\"steals\":" << scaling[i].steals
+         << ",\"parks\":" << scaling[i].parks
+         << ",\"wakeups\":" << scaling[i].wakeups << "}";
   }
   json << "]}";
   // JSON-lines update: other benches' datapoints (rdv_bench's

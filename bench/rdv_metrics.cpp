@@ -1,0 +1,162 @@
+// rdv_metrics — inspect and gate on rdv_bench metrics snapshots.
+//
+// The CI perf-trend gate is `rdv_metrics diff baseline.json current.json
+// --tolerance 0.5`: every per-experiment wall-clock series in the
+// baseline must stay within the tolerance band, or the exit code goes
+// nonzero and the push fails. `assert` checks counter invariants the
+// same way (e.g. views.shrink_pair_bfs==0 after a census run).
+//
+// All logic lives in obs/metrics_tools.* so tests exercise exactly the
+// code this CLI and the CI gate run; this file is argv plumbing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_tools.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: rdv_metrics <command> ...
+
+commands:
+  dump FILE
+      print a metrics snapshot (as written by rdv_bench --metrics-out)
+      in human-readable form
+  diff BASE CURRENT [--tolerance F] [--min-micros N]
+      perf-trend gate: compare every *.wall_micros series in BASE
+      against CURRENT; exit 1 when any current mean exceeds
+      base * (1 + tolerance). --min-micros sets a noise floor below
+      which series never regress. Default tolerance: 0.25.
+  assert FILE EXPR...
+      evaluate invariant expressions (name OP value, OP one of
+      == != <= >= < >) against the snapshot, e.g.
+      `rdv_metrics assert m.json views.shrink_pair_bfs==0`;
+      exit 1 when any fails
+
+exit status: 0 ok, 1 regression/violation, 2 usage or parse error
+)";
+
+int usage_error(const char* message) {
+  std::fprintf(stderr, "rdv_metrics: %s\n%s", message, kUsage);
+  return 2;
+}
+
+bool read_snapshot(const std::string& path, rdv::obs::MetricsSnapshot& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rdv_metrics: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    out = rdv::obs::parse_metrics_json(buffer.str());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "rdv_metrics: %s: %s\n", path.c_str(), ex.what());
+    return false;
+  }
+  return true;
+}
+
+int cmd_dump(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage_error("dump takes exactly one file");
+  rdv::obs::MetricsSnapshot snap;
+  if (!read_snapshot(args[0], snap)) return 2;
+  std::fputs(rdv::obs::render_metrics_dump(snap).c_str(), stdout);
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  rdv::obs::DiffOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tolerance") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--tolerance needs a value");
+      }
+      char* end = nullptr;
+      options.tolerance = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' ||
+          options.tolerance < 0.0) {
+        return usage_error("--tolerance needs a non-negative number");
+      }
+    } else if (args[i] == "--min-micros") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--min-micros needs a value");
+      }
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0') {
+        return usage_error("--min-micros needs a non-negative integer");
+      }
+      options.min_micros = v;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("unknown diff option");
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) {
+    return usage_error("diff takes a baseline file and a current file");
+  }
+  rdv::obs::MetricsSnapshot base;
+  rdv::obs::MetricsSnapshot current;
+  if (!read_snapshot(files[0], base) || !read_snapshot(files[1], current)) {
+    return 2;
+  }
+  const rdv::obs::DiffReport report =
+      rdv::obs::diff_snapshots(base, current, options);
+  for (const std::string& line : report.lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  if (report.regressions != 0) {
+    std::printf("%zu series regressed beyond tolerance %.2f\n",
+                report.regressions, options.tolerance);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_assert(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return usage_error("assert takes a file and at least one expression");
+  }
+  rdv::obs::MetricsSnapshot snap;
+  if (!read_snapshot(args[0], snap)) return 2;
+  int failed = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const rdv::obs::AssertResult result =
+        rdv::obs::check_assertion(snap, args[i]);
+    std::printf("%s %s\n", result.ok ? "OK  " : "FAIL",
+                result.message.c_str());
+    if (!result.ok) ++failed;
+  }
+  if (failed != 0) {
+    std::printf("%d assertion%s failed\n", failed, failed == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing command");
+  const std::string_view command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "dump") return cmd_dump(args);
+  if (command == "diff") return cmd_diff(args);
+  if (command == "assert") return cmd_assert(args);
+  return usage_error("unknown command");
+}

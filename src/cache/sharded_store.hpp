@@ -10,21 +10,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/stats.hpp"
+
 /// Sharded, mutex-per-shard LRU store — the concurrency engine behind
 /// ArtifactCache. Generic over (Key, Value) so each artifact kind gets
 /// its own instance with its own statistics.
 namespace rdv::cache {
 
-/// Counters for one store; snapshot via ShardedLruStore::stats().
-struct StoreStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+/// Counters for one store; snapshot via ShardedLruStore::stats(). The
+/// hits/misses/bytes vocabulary is the shared obs::TierStats (`bytes`
+/// = currently resident approximate payload bytes); this adds the
+/// memory-tier-only fields. Evicted values stay alive while callers
+/// hold their shared_ptr, but stop counting under entries/bytes.
+struct StoreStats : obs::TierStats {
   std::uint64_t evictions = 0;
-  /// Currently resident entries / approximate payload bytes. Evicted
-  /// values stay alive while callers hold their shared_ptr, but stop
-  /// counting here.
+  /// Currently resident entries.
   std::uint64_t entries = 0;
-  std::uint64_t bytes = 0;
 };
 
 /// Values are handed out as shared_ptr<const V>: eviction never

@@ -10,6 +10,9 @@
 
 #include "cache/artifact_cache.hpp"
 #include "exp/scenarios/scenarios.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_tools.hpp"
+#include "obs/trace.hpp"
 #include "store/result_log.hpp"
 #include "support/bench_json.hpp"
 #include "support/env.hpp"
@@ -44,12 +47,20 @@ options:
                    Shrink, and UXS corpus verification
   --result-log F   append every table to a compact binary log (round-
                    trip verified under --check)
+  --metrics-out F  write the unified metrics snapshot (cache/store/
+                   pool/sweep/exp series) as JSON after the run; feed
+                   it to rdv_metrics dump|diff|assert
+  --trace-out F    enable span tracing and write a Chrome-trace /
+                   Perfetto JSON (chrome://tracing, ui.perfetto.dev)
   --check          fail (exit 1) if any experiment emits an empty table
   --help           this text
 
+Value-taking options accept both `--opt VALUE` and `--opt=VALUE`.
+
 After a run, per-experiment wall-clock timings are folded into
 BENCH_sweep.json in the CSV dir (or the working directory) and store /
-UXS-verification statistics are printed to stderr.
+UXS-verification statistics are printed to stderr. Metrics and traces
+are sidecar-only: stdout bytes are identical with and without them.
 )";
 
 struct Args {
@@ -66,22 +77,54 @@ struct Args {
   std::string json_dir;
   std::string store_dir;
   std::string result_log;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> selectors;
 };
 
-bool parse_size_arg(int argc, const char* const* argv, int& i,
-                    std::size_t& out) {
-  if (i + 1 >= argc) return false;
+bool parse_size(std::string_view text, std::size_t& out) {
+  const std::string copy(text);
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(argv[++i], &end, 10);
-  if (end == argv[i] || *end != '\0' || v == 0) return false;
+  const unsigned long long v = std::strtoull(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0' || v == 0) return false;
   out = static_cast<std::size_t>(v);
   return true;
 }
 
 int parse_args(int argc, const char* const* argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
+    std::string_view arg = argv[i];
+    // --opt=VALUE: split once here so every value-taking option accepts
+    // both spellings.
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    const auto value = [&](std::string_view& out) {
+      if (has_inline) {
+        out = inline_value;
+        return true;
+      }
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    const bool takes_value =
+        arg == "--threads" || arg == "--chunk" || arg == "--csv-dir" ||
+        arg == "--json-dir" || arg == "--store-dir" ||
+        arg == "--result-log" || arg == "--metrics-out" ||
+        arg == "--trace-out";
+    if (has_inline && !takes_value) {
+      std::fprintf(stderr, "rdv_bench: option %s does not take a value\n",
+                   std::string(arg).c_str());
+      return 2;
+    }
     if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return -1;
@@ -104,28 +147,30 @@ int parse_args(int argc, const char* const* argv, Args& args) {
       args.json_stdout = true;
     } else if (arg == "--check") {
       args.check = true;
-    } else if (arg == "--threads") {
-      if (!parse_size_arg(argc, argv, i, args.threads)) {
-        std::fprintf(stderr, "rdv_bench: --threads needs a positive count\n");
-        return 2;
-      }
-    } else if (arg == "--chunk") {
-      if (!parse_size_arg(argc, argv, i, args.chunk)) {
-        std::fprintf(stderr, "rdv_bench: --chunk needs a positive count\n");
+    } else if (arg == "--threads" || arg == "--chunk") {
+      std::string_view v;
+      std::size_t& slot = arg == "--threads" ? args.threads : args.chunk;
+      if (!value(v) || !parse_size(v, slot)) {
+        std::fprintf(stderr, "rdv_bench: %s needs a positive count\n",
+                     std::string(arg).c_str());
         return 2;
       }
     } else if (arg == "--csv-dir" || arg == "--json-dir" ||
-               arg == "--store-dir" || arg == "--result-log") {
-      if (i + 1 >= argc) {
+               arg == "--store-dir" || arg == "--result-log" ||
+               arg == "--metrics-out" || arg == "--trace-out") {
+      std::string_view v;
+      if (!value(v) || v.empty()) {
         std::fprintf(stderr, "rdv_bench: %s needs a path\n",
                      std::string(arg).c_str());
         return 2;
       }
-      std::string& slot = arg == "--csv-dir"    ? args.csv_dir
-                          : arg == "--json-dir" ? args.json_dir
-                          : arg == "--store-dir" ? args.store_dir
-                                                 : args.result_log;
-      slot = argv[++i];
+      std::string& slot = arg == "--csv-dir"      ? args.csv_dir
+                          : arg == "--json-dir"   ? args.json_dir
+                          : arg == "--store-dir"  ? args.store_dir
+                          : arg == "--result-log" ? args.result_log
+                          : arg == "--metrics-out" ? args.metrics_out
+                                                   : args.trace_out;
+      slot = std::string(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "rdv_bench: unknown option %s\n%s",
                    std::string(arg).c_str(), kUsage);
@@ -224,6 +269,67 @@ void write_bench_json(const std::string& csv_dir, Scale scale,
   std::fprintf(stderr, "rdv_bench: timings folded into %s\n", path.c_str());
 }
 
+/// Bridges subsystem-owned statistics into metrics snapshots. The
+/// subsystems keep their counters (per-instance, directly testable);
+/// the registry reads them through these sources at snapshot time, so
+/// there is exactly one bookkeeper per number. register_source is
+/// idempotent by name — run_main may execute repeatedly in one process
+/// (tests) without stacking duplicate contributors.
+void register_metric_sources() {
+  obs::Registry::instance().register_source(
+      "exp.cache", [](obs::MetricsSnapshot& snap) {
+        const cache::CacheStats stats = cache::global_cache().stats();
+        const auto tier = [&snap](const char* kind,
+                                  const cache::StoreStats& s) {
+          const std::string p = std::string("cache.") + kind;
+          snap.counters[p + ".hits"] = s.hits;
+          snap.counters[p + ".misses"] = s.misses;
+          snap.counters[p + ".evictions"] = s.evictions;
+          snap.gauges[p + ".entries"] = static_cast<std::int64_t>(s.entries);
+          snap.gauges[p + ".bytes"] = static_cast<std::int64_t>(s.bytes);
+        };
+        tier("view_classes", stats.view_classes);
+        tier("quotients", stats.quotients);
+        tier("uxs", stats.uxs);
+        tier("shrink", stats.shrink);
+        tier("all_pairs_shrink", stats.all_pairs_shrink);
+      });
+  obs::Registry::instance().register_source(
+      "exp.store", [](obs::MetricsSnapshot& snap) {
+        const store::DiskStore* disk = cache::global_cache().disk();
+        snap.gauges["store.attached"] = disk != nullptr ? 1 : 0;
+        // Zero series when no store is attached: the store tier always
+        // appears in a snapshot, so baselines and assertions keep one
+        // schema across cold, warm, and storeless runs.
+        for (std::size_t k = 0; k < store::kKindCount; ++k) {
+          const auto kind = static_cast<store::Kind>(k);
+          const store::DiskStats s =
+              disk != nullptr ? disk->stats(kind) : store::DiskStats{};
+          const std::string p =
+              std::string("store.") + store::kind_name(kind);
+          snap.counters[p + ".hits"] = s.hits;
+          snap.counters[p + ".misses"] = s.misses;
+          snap.counters[p + ".corrupt"] = s.corrupt;
+          snap.counters[p + ".version_mismatch"] = s.version_mismatch;
+          snap.counters[p + ".writes"] = s.writes;
+          snap.counters[p + ".write_failures"] = s.write_failures;
+          snap.counters[p + ".bytes_read"] = s.bytes;
+          snap.counters[p + ".bytes_written"] = s.bytes_written;
+        }
+      });
+  obs::Registry::instance().register_source(
+      "exp.process", [](obs::MetricsSnapshot& snap) {
+        // The CI invariant assertions read these: zero pair-BFS on the
+        // batched census path, zero verifications on a warm store.
+        snap.counters["uxs.corpus_verifications"] =
+            uxs::corpus_verification_count();
+        snap.counters["views.shrink_pair_bfs"] =
+            views::shrink_pair_bfs_count();
+        snap.counters["views.shrink_all_pairs_computes"] =
+            views::shrink_all_pairs_compute_count();
+      });
+}
+
 /// Store / UXS statistics on stderr (never stdout: warm and cold runs
 /// must stay byte-identical there). The warm-run CI job greps
 /// uxs_corpus_verifications=0 on the second invocation.
@@ -259,7 +365,7 @@ void print_run_stats() {
                  static_cast<unsigned long long>(s.version_mismatch),
                  static_cast<unsigned long long>(s.writes),
                  static_cast<unsigned long long>(s.write_failures),
-                 static_cast<unsigned long long>(s.bytes_read),
+                 static_cast<unsigned long long>(s.bytes),
                  static_cast<unsigned long long>(s.bytes_written));
   }
 }
@@ -327,6 +433,10 @@ int run_main(int argc, const char* const* argv) {
   if (!args.store_dir.empty()) {
     ::setenv("RDV_STORE_DIR", args.store_dir.c_str(), 1);
   }
+  // Tracing flips on only when a sink was requested (and before the
+  // pool spins up, so worker park/assist spans are captured too).
+  if (!args.trace_out.empty()) obs::set_trace_enabled(true);
+  register_metric_sources();
 
   const Registry& registry = builtin_registry();
   std::vector<const Experiment*> selected;
@@ -385,6 +495,10 @@ int run_main(int argc, const char* const* argv) {
       ctx.stream = stream.get();
       const ExpOutput output = run_experiment(e, ctx);
       ctx.stream = nullptr;
+      // Per-scenario wall-clock series — what the CI perf-trend gate
+      // diffs against its committed baseline band.
+      obs::histogram("exp." + e.id + ".wall_micros")
+          .observe(output.wall_micros);
       if (stream != nullptr && stream->pending() != 0) {
         std::fprintf(stderr,
                      "rdv_bench: %s left %zu streamed records stranded "
@@ -448,6 +562,26 @@ int run_main(int argc, const char* const* argv) {
                        : support::default_pool().thread_count(),
                    timings);
   print_run_stats();
+  // Sidecar emission last: a full run's worth of series, written after
+  // every primary byte (stdout, CSV/JSON tables, result log) is out.
+  if (!args.metrics_out.empty()) {
+    const std::string json =
+        obs::render_metrics_json(obs::Registry::instance().snapshot());
+    if (!write_file(args.metrics_out, json)) {
+      ++failures;
+    } else {
+      std::fprintf(stderr, "rdv_bench: metrics snapshot written to %s\n",
+                   args.metrics_out.c_str());
+    }
+  }
+  if (!args.trace_out.empty()) {
+    if (!obs::write_chrome_trace(args.trace_out)) {
+      ++failures;
+    } else {
+      std::fprintf(stderr, "rdv_bench: chrome trace written to %s\n",
+                   args.trace_out.c_str());
+    }
+  }
   if (failures != 0) {
     std::fprintf(stderr, "rdv_bench: %d of %zu experiments failed\n",
                  failures, selected.size());

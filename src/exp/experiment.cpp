@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 
 namespace rdv::exp {
@@ -22,7 +23,12 @@ const char* scale_name(Scale scale) noexcept {
 ExpOutput run_experiment(const Experiment& experiment,
                          const ExpContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
+  // One span per experiment and one per case ("exp.case" category,
+  // case index in args) — the per-scenario skeleton a Perfetto view of
+  // a whole run hangs off. Sidecar-only: spans never touch the table.
+  obs::Span exp_span("exp", experiment.id);
   const std::vector<CaseFn> cases = experiment.cases(ctx);
+  exp_span.arg("cases", cases.size());
   ExpOutput output{support::Table(experiment.headers), {}, {}};
   // One case per chunk: cases are heavyweight (each renders a whole
   // row of simulations/searches), so per-case scheduling is the right
@@ -36,8 +42,12 @@ ExpOutput run_experiment(const Experiment& experiment,
   std::vector<std::vector<std::string>> rows =
       sweep::sweep_map<std::vector<std::string>>(
           cases.size(),
-          [&](std::size_t i) { return cases[i](ctx); }, per_case, {},
-          &output.stats);
+          [&](std::size_t i) {
+            obs::Span case_span("exp.case", experiment.id);
+            case_span.arg("case", i);
+            return cases[i](ctx);
+          },
+          per_case, {}, &output.stats);
   for (std::vector<std::string>& row : rows) {
     if (!row.empty()) output.table.add_row(std::move(row));
   }

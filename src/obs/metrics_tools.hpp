@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+/// Snapshot serialization + the perf-trend gate logic behind the
+/// `rdv_metrics` CLI (ISSUE 7). Library functions so tests drive the
+/// exact code the CLI and the CI gate run.
+namespace rdv::obs {
+
+/// Snapshot format version (the "format" field of the JSON).
+inline constexpr std::uint32_t kMetricsFormat = 1;
+
+/// Deterministic JSON rendering (name-sorted; integers only, so two
+/// identical snapshots render byte-identically):
+/// {"format":1,"counters":{...},"gauges":{...},
+///  "histograms":{"name":{"count":..,"sum":..,"buckets":[..64..]}}}
+[[nodiscard]] std::string render_metrics_json(const MetricsSnapshot& snap);
+
+/// Strict inverse of render_metrics_json (unknown top-level keys,
+/// shape or format mismatches throw std::runtime_error).
+[[nodiscard]] MetricsSnapshot parse_metrics_json(std::string_view json);
+
+/// Human-readable dump (the `rdv_metrics dump` body).
+[[nodiscard]] std::string render_metrics_dump(const MetricsSnapshot& snap);
+
+struct DiffOptions {
+  /// Allowed fractional growth of a wall-clock series before it counts
+  /// as a regression: current mean must stay <= base mean * (1 +
+  /// tolerance).
+  double tolerance = 0.25;
+  /// Noise floor: series whose base AND current means are below this
+  /// many micros never regress (tiny experiments flap on CI runners).
+  std::uint64_t min_micros = 0;
+};
+
+struct DiffReport {
+  /// Narrative lines, one per compared/changed series (regressions
+  /// prefixed "REGRESSION", disappearances "MISSING").
+  std::vector<std::string> lines;
+  /// Wall-clock series beyond the tolerance band; nonzero means the
+  /// gate fails.
+  std::size_t regressions = 0;
+};
+
+/// The perf-trend comparison: every histogram in `base` whose name
+/// ends in ".wall_micros" is checked against `current` with the
+/// tolerance band; other counters/gauges are reported informationally
+/// (they never fail the diff — use `check_assertion` for invariants).
+[[nodiscard]] DiffReport diff_snapshots(const MetricsSnapshot& base,
+                                        const MetricsSnapshot& current,
+                                        const DiffOptions& options = {});
+
+struct AssertResult {
+  bool ok = false;
+  std::string message;
+};
+
+/// Evaluates one invariant expression of the form `name OP value`
+/// (OP in ==, !=, <=, >=, <, >; no spaces), e.g.
+/// "views.shrink_pair_bfs==0". `name` resolves against counters, then
+/// gauges, then histogram projections `<hist>.count` / `<hist>.sum`.
+/// A missing name or malformed expression is a failed (ok=false)
+/// result with a diagnostic message.
+[[nodiscard]] AssertResult check_assertion(const MetricsSnapshot& snap,
+                                           std::string_view expr);
+
+}  // namespace rdv::obs

@@ -211,7 +211,7 @@ DiskStats DiskStore::stats(Kind kind) const {
   out.version_mismatch = s.version_mismatch.load(std::memory_order_relaxed);
   out.writes = s.writes.load(std::memory_order_relaxed);
   out.write_failures = s.write_failures.load(std::memory_order_relaxed);
-  out.bytes_read = s.bytes_read.load(std::memory_order_relaxed);
+  out.bytes = s.bytes_read.load(std::memory_order_relaxed);
   out.bytes_written = s.bytes_written.load(std::memory_order_relaxed);
   return out;
 }
@@ -220,13 +220,11 @@ DiskStats DiskStore::total_stats() const {
   DiskStats total;
   for (std::size_t k = 0; k < kKindCount; ++k) {
     const DiskStats s = stats(static_cast<Kind>(k));
-    total.hits += s.hits;
-    total.misses += s.misses;
+    static_cast<obs::TierStats&>(total) += s;
     total.corrupt += s.corrupt;
     total.version_mismatch += s.version_mismatch;
     total.writes += s.writes;
     total.write_failures += s.write_failures;
-    total.bytes_read += s.bytes_read;
     total.bytes_written += s.bytes_written;
   }
   return total;

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/stats.hpp"
 #include "store/codec.hpp"
 
 /// Content-addressed, crash-safe on-disk artifact store (ISSUE 4
@@ -38,11 +39,13 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 /// RDV_STORE_SALT overrides for experiments.
 inline constexpr const char* kDefaultBuildSalt = "rdv-artifacts-v1";
 
-/// Per-kind counters; snapshot via DiskStore::stats(). Mirrors
-/// cache::StoreStats where the concepts coincide (hits/misses/bytes).
-struct DiskStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+/// Per-kind counters; snapshot via DiskStore::stats(). The
+/// hits/misses/bytes core is the shared obs::TierStats — the same
+/// snapshot vocabulary as cache::StoreStats, so tier-efficiency
+/// consumers (the metrics registry bridge, rdv_metrics) handle both
+/// uniformly. For this disk tier, inherited `bytes` counts bytes READ
+/// (header + payload served on hits); this adds the disk-only fields.
+struct DiskStats : obs::TierStats {
   /// Subsets of misses, mutually exclusive: `corrupt` counts files
   /// that failed validation (bad magic, checksum, truncation, codec
   /// error, foreign key echo); `version_mismatch` counts well-formed
@@ -51,7 +54,6 @@ struct DiskStats {
   std::uint64_t version_mismatch = 0;
   std::uint64_t writes = 0;
   std::uint64_t write_failures = 0;
-  std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rdv::support {
 
 namespace {
@@ -12,6 +15,22 @@ namespace {
 /// callers that are not workers.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_index = 0;
+
+/// Process-wide scheduler series (all pools aggregated — the registry
+/// describes the run, per-pool accessors the instance). Handles are
+/// resolved once; bumps are lock-free stripe adds.
+struct PoolMetrics {
+  obs::Counter& submits = obs::counter("pool.submits");
+  obs::Counter& steals = obs::counter("pool.steals");
+  obs::Counter& parks = obs::counter("pool.parks");
+  obs::Counter& wakeups = obs::counter("pool.wakeups");
+  obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -44,7 +63,11 @@ std::size_t ThreadPool::self_index() const noexcept {
 }
 
 void ThreadPool::submit(std::function<void()> task, const void* tag) {
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  PoolMetrics& metrics = pool_metrics();
+  metrics.submits.add();
+  metrics.queue_depth.set(static_cast<std::int64_t>(depth));
   const std::size_t self = self_index();
   if (self != kExternal) {
     WorkerQueue& q = *queues_[self];
@@ -109,6 +132,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
         task = std::move(*it);
         q.tasks.erase(it);
         steals_.fetch_add(1, std::memory_order_relaxed);
+        pool_metrics().steals.add();
         return true;
       }
     }
@@ -119,7 +143,9 @@ bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
 void ThreadPool::run_task(Task& task) {
   task.fn();
   task.fn = nullptr;  // release captures before announcing completion
-  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  const std::size_t depth =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  pool_metrics().queue_depth.set(static_cast<std::int64_t>(depth));
   bump_epoch();
 }
 
@@ -136,11 +162,23 @@ void ThreadPool::worker_loop(std::size_t index) {
       run_task(task);
       continue;
     }
-    std::unique_lock lock(sleep_mutex_);
-    if (stopping_) return;  // every queue drained
-    ++sleepers_;
-    cv_.wait(lock, [&] { return epoch_ != seen || stopping_; });
-    --sleepers_;
+    const bool traced = obs::trace_enabled();
+    const std::uint64_t park_start = traced ? obs::now_micros() : 0;
+    {
+      std::unique_lock lock(sleep_mutex_);
+      if (stopping_) return;  // every queue drained
+      ++sleepers_;
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().parks.add();
+      cv_.wait(lock, [&] { return epoch_ != seen || stopping_; });
+      --sleepers_;
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().wakeups.add();
+    }
+    if (traced) {
+      obs::record_span("park", "pool", park_start,
+                       obs::now_micros() - park_start);
+    }
   }
 }
 
@@ -154,6 +192,7 @@ void ThreadPool::assist_until(const std::function<bool()>& done,
   // returns (e.g. a test gating a task on a promise). The tag narrows
   // shared-queue/steal pops to the awaited batch for the same reason.
   const std::size_t self = self_index();
+  obs::Span span("pool", self != kExternal ? "assist" : "assist.external");
   for (;;) {
     if (done()) return;
     const std::uint64_t seen = epoch();
@@ -166,10 +205,22 @@ void ThreadPool::assist_until(const std::function<bool()>& done,
     // for or executing on some other thread. Sleep until anything is
     // submitted or completes (both bump the epoch), then re-check.
     if (done()) return;
-    std::unique_lock lock(sleep_mutex_);
-    ++sleepers_;
-    cv_.wait(lock, [&] { return epoch_ != seen; });
-    --sleepers_;
+    const bool traced = obs::trace_enabled();
+    const std::uint64_t park_start = traced ? obs::now_micros() : 0;
+    {
+      std::unique_lock lock(sleep_mutex_);
+      ++sleepers_;
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().parks.add();
+      cv_.wait(lock, [&] { return epoch_ != seen; });
+      --sleepers_;
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().wakeups.add();
+    }
+    if (traced) {
+      obs::record_span("park.wait", "pool", park_start,
+                       obs::now_micros() - park_start);
+    }
   }
 }
 

@@ -86,6 +86,19 @@ class ThreadPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Times any thread (worker or external waiter) went to sleep on the
+  /// epoch cv, and times a sleeper woke from it. The before/after
+  /// baseline for the planned per-worker-parking rewrite: the current
+  /// single-cv design wakes EVERY sleeper on every submit/completion,
+  /// so wakeups per useful task is exactly the thundering-herd factor
+  /// this surface is meant to expose. Cumulative, scheduling-dependent.
+  [[nodiscard]] std::uint64_t park_count() const noexcept {
+    return parks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wakeup_count() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -133,6 +146,8 @@ class ThreadPool {
   bool stopping_ = false;
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 /// Completion tracking for ONE batch of tasks on a shared pool.

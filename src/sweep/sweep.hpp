@@ -11,6 +11,8 @@
 #include "analysis/feasibility.hpp"
 #include "analysis/stics.hpp"
 #include "cache/artifact_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -77,6 +79,23 @@ inline support::ThreadPool& effective_pool(const SweepConfig& config) {
 inline cache::ArtifactCache& effective_cache(const SweepConfig& config) {
   return config.cache != nullptr ? *config.cache : cache::global_cache();
 }
+
+/// Process-wide sweep-substrate series (ISSUE 7): chunk/item/early-exit
+/// counters plus the pipeline-occupancy gauge (scheduled-but-unmerged
+/// chunks; concurrent sweeps last-write-win, which is fine for a
+/// point-in-time gauge). Handles resolved once per process.
+struct SweepMetrics {
+  obs::Counter& chunks = obs::counter("sweep.chunks");
+  obs::Counter& items = obs::counter("sweep.items");
+  obs::Counter& early_exits = obs::counter("sweep.early_exits");
+  obs::Counter& chunk_skips = obs::counter("sweep.chunk_skips");
+  obs::Counter& window_refills = obs::counter("sweep.window_refills");
+  obs::Gauge& occupancy = obs::gauge("sweep.pipeline_occupancy");
+};
+inline SweepMetrics& sweep_metrics() {
+  static SweepMetrics metrics;
+  return metrics;
+}
 }  // namespace detail
 
 /// Maps fn over [0, n) with deterministic ordering. `stop_when`, if
@@ -92,6 +111,8 @@ std::vector<R> sweep_map(std::size_t n,
   support::ThreadPool& pool = detail::effective_pool(config);
   const std::size_t chunks =
       n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
+  obs::Span sweep_span("sweep", "map");
+  sweep_span.arg("items", n);
 
   SweepStats local;
   local.items_total = n;
@@ -126,14 +147,20 @@ std::vector<R> sweep_map(std::size_t n,
     std::vector<R>* out = &chunk_out[c];
     std::atomic<bool>* done = &chunk_done[c];
     group.submit([lo, hi, out, done, &fn, &stop_flag] {
+      obs::Span chunk_span("sweep", "chunk");
+      chunk_span.arg("items", hi - lo);
+      detail::SweepMetrics& metrics = detail::sweep_metrics();
+      metrics.chunks.add();
       out->reserve(hi - lo);
       for (std::size_t i = lo; i < hi; ++i) {
         if (stop_flag.load(std::memory_order_relaxed)) {
           std::vector<R>().swap(*out);
+          metrics.chunk_skips.add();
           break;
         }
         out->push_back(fn(i));
       }
+      metrics.items.add(out->size());
       done->store(true, std::memory_order_release);
     });
     ++local.chunks_scheduled;
@@ -155,6 +182,8 @@ std::vector<R> sweep_map(std::size_t n,
         },
         group.tag());
     if (!stopped) {
+      obs::Span merge_span("sweep", "merge");
+      merge_span.arg("chunk", front);
       for (R& r : chunk_out[front]) {
         merged.push_back(std::move(r));
         if (stop_when && stop_when(merged.back())) {
@@ -162,6 +191,7 @@ std::vector<R> sweep_map(std::size_t n,
           local.stop_index = merged.size() - 1;
           stopped = true;
           stop_flag.store(true, std::memory_order_relaxed);
+          detail::sweep_metrics().early_exits.add();
           break;
         }
       }
@@ -173,7 +203,10 @@ std::vector<R> sweep_map(std::size_t n,
     if (!stopped && next_chunk < chunks) {
       schedule(next_chunk);
       ++next_chunk;
+      detail::sweep_metrics().window_refills.add();
     }
+    detail::sweep_metrics().occupancy.set(
+        static_cast<std::int64_t>(next_chunk - front - 1));
   }
   group.wait();  // defensive: every scheduled chunk is already done
   local.items_produced = merged.size();

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/driver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_tools.hpp"
+#include "obs/trace.hpp"
+
+namespace rdv::obs {
+namespace {
+
+// ---- metrics primitives ----------------------------------------------
+
+/// Bumps a local counter from `threads` threads, `per_thread` times
+/// each — the merged value must be exact no matter the thread count.
+std::uint64_t count_with_threads(std::size_t threads,
+                                 std::uint64_t per_thread) {
+  Counter counter;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&counter, per_thread] {
+      for (std::uint64_t i = 0; i < per_thread; ++i) counter.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  return counter.value();
+}
+
+TEST(Metrics, CounterMergesDeterministicallyAcrossThreadCounts) {
+  // 16 threads deliberately exceeds kStripes on small runners: several
+  // threads share stripes, and the sum must still be exact.
+  EXPECT_EQ(count_with_threads(1, 4800), 4800u);
+  EXPECT_EQ(count_with_threads(4, 1200), 4800u);
+  EXPECT_EQ(count_with_threads(16, 300), 4800u);
+}
+
+/// Observes the fixed multiset {0, 1, ..., n-1} partitioned across
+/// `threads` threads and returns the merged snapshot.
+HistogramSnapshot observe_with_threads(std::size_t threads,
+                                       std::uint64_t n) {
+  Histogram hist;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&hist, t, threads, n] {
+      for (std::uint64_t v = t; v < n; v += threads) hist.observe(v);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return hist.snapshot();
+}
+
+TEST(Metrics, HistogramMergesDeterministicallyAcrossThreadCounts) {
+  const HistogramSnapshot a = observe_with_threads(1, 1000);
+  const HistogramSnapshot b = observe_with_threads(4, 1000);
+  const HistogramSnapshot c = observe_with_threads(16, 1000);
+  EXPECT_EQ(a.count, 1000u);
+  EXPECT_EQ(a.sum, 999u * 1000u / 2);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.count, c.count);
+  EXPECT_EQ(a.sum, c.sum);
+  EXPECT_EQ(a.buckets, c.buckets);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 62), 63u);
+  // bit_width of 2^63.. is 64 — must clamp into the last bucket, not
+  // index out of range.
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 63), 63u);
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), 63u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.set(7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Metrics, RegistryHandlesSurviveReset) {
+  Counter& counter = Registry::instance().counter("obs_test.survivor");
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 5u);
+  Registry::instance().reset_for_tests();
+  // Same object, zeroed — cached static handles elsewhere stay valid.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&Registry::instance().counter("obs_test.survivor"), &counter);
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 1u);
+  Registry::instance().reset_for_tests();
+}
+
+TEST(Metrics, SnapshotSourcesAreIdempotentByName) {
+  Registry::instance().reset_for_tests();
+  Registry::instance().register_source(
+      "obs_test.src",
+      [](MetricsSnapshot& snap) { snap.counters["obs_test.a"] = 1; });
+  // Re-registration replaces, never stacks.
+  Registry::instance().register_source(
+      "obs_test.src",
+      [](MetricsSnapshot& snap) { snap.counters["obs_test.a"] = 2; });
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  ASSERT_EQ(snap.counters.count("obs_test.a"), 1u);
+  EXPECT_EQ(snap.counters.at("obs_test.a"), 2u);
+  Registry::instance().reset_for_tests();
+}
+
+// ---- tracer ----------------------------------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  clear_trace();
+  {
+    Span span("obs_test", "invisible");
+    span.arg("x", 1);
+  }
+  record_span("also_invisible", "obs_test", 0, 1);
+  for (const TraceEvent& e : drain_trace()) {
+    EXPECT_STRNE(e.category, "obs_test");
+  }
+}
+
+TEST(Trace, RingOverflowDropsOldestAndNeverBlocks) {
+  clear_trace();
+  set_trace_ring_capacity(4);
+  set_trace_enabled(true);
+  // A fresh thread gets a fresh (capacity-4) ring; recording far more
+  // events than capacity must complete (recording never blocks) and
+  // keep exactly the newest four.
+  std::thread([] {
+    for (int i = 0; i < 100; ++i) {
+      const std::string name = "evt" + std::to_string(i);
+      record_span(name, "obs_test_ring", 1000 + static_cast<uint64_t>(i),
+                  1);
+    }
+  }).join();
+  set_trace_enabled(false);
+  set_trace_ring_capacity(16384);
+  std::vector<TraceEvent> mine;
+  for (const TraceEvent& e : drain_trace()) {
+    if (std::string_view(e.category) == "obs_test_ring") mine.push_back(e);
+  }
+  ASSERT_EQ(mine.size(), 4u);
+  EXPECT_STREQ(mine[0].name, "evt96");
+  EXPECT_STREQ(mine[3].name, "evt99");
+  EXPECT_GE(trace_dropped_count(), 96u);
+  clear_trace();
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
+TEST(Trace, LongNamesTruncateSafely) {
+  clear_trace();
+  set_trace_enabled(true);
+  const std::string longname(200, 'x');
+  record_span(longname, "obs_test_name", 1, 2, "k", 3);
+  set_trace_enabled(false);
+  bool found = false;
+  for (const TraceEvent& e : drain_trace()) {
+    if (std::string_view(e.category) != "obs_test_name") continue;
+    found = true;
+    EXPECT_EQ(std::string_view(e.name).size(), TraceEvent::kNameCapacity);
+    EXPECT_EQ(e.arg_value, 3u);
+  }
+  EXPECT_TRUE(found);
+  clear_trace();
+}
+
+TEST(Trace, ChromeRenderEscapesAndShapes) {
+  TraceEvent e;
+  std::snprintf(e.name, sizeof e.name, "quote\"back\\slash");
+  e.category = "cat";
+  e.start_micros = 10;
+  e.dur_micros = 5;
+  e.tid = 3;
+  e.arg_key = "items";
+  e.arg_value = 42;
+  const std::string json = render_chrome_trace({e});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"items\":42}"), std::string::npos);
+}
+
+// ---- snapshot JSON + the gate ----------------------------------------
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters["alpha.hits"] = 3;
+  snap.counters["beta.misses"] = 0;
+  snap.gauges["depth"] = -4;
+  HistogramSnapshot hist;
+  hist.count = 2;
+  hist.sum = 300;
+  hist.buckets[8] = 2;
+  snap.histograms["exp.t1.wall_micros"] = hist;
+  return snap;
+}
+
+TEST(MetricsJson, RoundTripIsByteStable) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string json = render_metrics_json(snap);
+  const MetricsSnapshot parsed = parse_metrics_json(json);
+  EXPECT_EQ(parsed.counters, snap.counters);
+  EXPECT_EQ(parsed.gauges, snap.gauges);
+  ASSERT_EQ(parsed.histograms.count("exp.t1.wall_micros"), 1u);
+  EXPECT_EQ(parsed.histograms.at("exp.t1.wall_micros").sum, 300u);
+  // Render(parse(render(x))) == render(x): byte-stable for diffing.
+  EXPECT_EQ(render_metrics_json(parsed), json);
+}
+
+TEST(MetricsJson, ParserIsStrict) {
+  EXPECT_THROW((void)parse_metrics_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_metrics_json("{}"), std::runtime_error);
+  EXPECT_THROW((void)parse_metrics_json("not json"), std::runtime_error);
+  EXPECT_THROW((void)parse_metrics_json(R"({"format":99,"counters":{},)"
+                                        R"("gauges":{},"histograms":{}})"),
+               std::runtime_error);
+  const std::string good = render_metrics_json(sample_snapshot());
+  EXPECT_THROW((void)parse_metrics_json(good.substr(0, good.size() - 2)),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_metrics_json(good + "x"), std::runtime_error);
+}
+
+TEST(Diff, PassesWithinBandFailsBeyond) {
+  MetricsSnapshot base = sample_snapshot();
+  MetricsSnapshot current = sample_snapshot();
+  // Identical snapshots never regress.
+  EXPECT_EQ(diff_snapshots(base, current).regressions, 0u);
+  // 30% slower: beyond a 25% band, within a 50% one.
+  current.histograms["exp.t1.wall_micros"].sum = 390;
+  DiffOptions strict;
+  strict.tolerance = 0.25;
+  const DiffReport bad = diff_snapshots(base, current, strict);
+  EXPECT_EQ(bad.regressions, 1u);
+  ASSERT_FALSE(bad.lines.empty());
+  EXPECT_NE(bad.lines[0].find("REGRESSION"), std::string::npos);
+  DiffOptions loose;
+  loose.tolerance = 0.5;
+  EXPECT_EQ(diff_snapshots(base, current, loose).regressions, 0u);
+  // Below the noise floor nothing regresses, however slow relatively.
+  strict.min_micros = 1000;
+  EXPECT_EQ(diff_snapshots(base, current, strict).regressions, 0u);
+}
+
+TEST(Diff, MissingSeriesIsReportedNotFailed) {
+  const MetricsSnapshot base = sample_snapshot();
+  MetricsSnapshot current = sample_snapshot();
+  current.histograms.clear();
+  const DiffReport report = diff_snapshots(base, current);
+  EXPECT_EQ(report.regressions, 0u);
+  bool missing = false;
+  for (const std::string& line : report.lines) {
+    if (line.find("MISSING") != std::string::npos) missing = true;
+  }
+  EXPECT_TRUE(missing);
+}
+
+TEST(Assertions, ResolveCountersGaugesAndHistogramProjections) {
+  const MetricsSnapshot snap = sample_snapshot();
+  EXPECT_TRUE(check_assertion(snap, "alpha.hits==3").ok);
+  EXPECT_TRUE(check_assertion(snap, "alpha.hits>=3").ok);
+  EXPECT_TRUE(check_assertion(snap, "alpha.hits<=3").ok);
+  EXPECT_TRUE(check_assertion(snap, "alpha.hits!=2").ok);
+  EXPECT_TRUE(check_assertion(snap, "beta.misses==0").ok);
+  EXPECT_FALSE(check_assertion(snap, "alpha.hits<3").ok);
+  EXPECT_FALSE(check_assertion(snap, "alpha.hits>3").ok);
+  EXPECT_TRUE(check_assertion(snap, "depth==-4").ok);
+  EXPECT_TRUE(check_assertion(snap, "exp.t1.wall_micros.count==2").ok);
+  EXPECT_TRUE(check_assertion(snap, "exp.t1.wall_micros.sum==300").ok);
+  // Missing names and malformed expressions fail with a message, never
+  // pass silently.
+  EXPECT_FALSE(check_assertion(snap, "no.such.series==0").ok);
+  EXPECT_FALSE(check_assertion(snap, "alpha.hits").ok);
+  EXPECT_FALSE(check_assertion(snap, "alpha.hits==").ok);
+  EXPECT_FALSE(check_assertion(snap, "").ok);
+}
+
+// ---- end-to-end: sidecars never change primary output ----------------
+
+/// Runs exp::run_main with stdout redirected to a temp file; returns
+/// the captured bytes.
+std::string run_capturing_stdout(const std::vector<const char*>& argv,
+                                 int& exit_code) {
+  std::fflush(stdout);
+  const int saved = ::dup(STDOUT_FILENO);
+  EXPECT_GE(saved, 0);
+  char path[] = "/tmp/rdv_obs_stdout_XXXXXX";
+  const int fd = ::mkstemp(path);
+  EXPECT_GE(fd, 0);
+  ::dup2(fd, STDOUT_FILENO);
+  exit_code = exp::run_main(static_cast<int>(argv.size()), argv.data());
+  std::fflush(stdout);
+  ::dup2(saved, STDOUT_FILENO);
+  ::close(saved);
+  ::close(fd);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ::unlink(path);
+  return buffer.str();
+}
+
+TEST(EndToEnd, PrimaryStdoutIsByteIdenticalWithSidecarsOn) {
+  const std::string metrics_path = "/tmp/rdv_obs_test_metrics.json";
+  const std::string trace_path = "/tmp/rdv_obs_test_trace.json";
+  const std::string metrics_flag = "--metrics-out=" + metrics_path;
+  const std::string trace_flag = "--trace-out=" + trace_path;
+
+  int plain_rc = -1;
+  const std::string plain = run_capturing_stdout(
+      {"rdv_bench", "t1_shrink_families", "--smoke"}, plain_rc);
+  int sidecar_rc = -1;
+  const std::string sidecar = run_capturing_stdout(
+      {"rdv_bench", "t1_shrink_families", "--smoke", metrics_flag.c_str(),
+       trace_flag.c_str()},
+      sidecar_rc);
+  set_trace_enabled(false);
+
+  EXPECT_EQ(plain_rc, 0);
+  EXPECT_EQ(sidecar_rc, 0);
+  EXPECT_FALSE(plain.empty());
+  EXPECT_EQ(plain, sidecar);
+
+  // The metrics sidecar parses strictly and carries the pool, sweep,
+  // cache, store, and per-experiment series the gate consumes.
+  std::ifstream min(metrics_path, std::ios::binary);
+  ASSERT_TRUE(min.good());
+  std::ostringstream mbuf;
+  mbuf << min.rdbuf();
+  const MetricsSnapshot snap = parse_metrics_json(mbuf.str());
+  EXPECT_EQ(snap.counters.count("pool.submits"), 1u);
+  EXPECT_EQ(snap.counters.count("sweep.chunks"), 1u);
+  EXPECT_EQ(snap.counters.count("cache.view_classes.hits"), 1u);
+  EXPECT_EQ(snap.counters.count("store.view_classes.hits"), 1u);
+  EXPECT_EQ(snap.counters.count("uxs.corpus_verifications"), 1u);
+  EXPECT_EQ(
+      snap.histograms.count("exp.t1_shrink_families.wall_micros"), 1u);
+  EXPECT_GE(
+      snap.histograms.at("exp.t1_shrink_families.wall_micros").count, 1u);
+
+  // The trace sidecar is a Chrome-trace JSON with experiment spans.
+  std::ifstream tin(trace_path, std::ios::binary);
+  ASSERT_TRUE(tin.good());
+  std::ostringstream tbuf;
+  tbuf << tin.rdbuf();
+  const std::string trace = tbuf.str();
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"t1_shrink_families\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"exp.case\""), std::string::npos);
+
+  ::unlink(metrics_path.c_str());
+  ::unlink(trace_path.c_str());
+  clear_trace();
+}
+
+}  // namespace
+}  // namespace rdv::obs

@@ -294,6 +294,32 @@ TEST(ThreadPool, IdleWorkersStealFromABusyWorkersDeque) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ThreadPool, ParkAndWakeupCountsAdvance) {
+  ThreadPool pool(2);
+  // Idle workers scan the (empty) queues once and park; poll until
+  // both have (timing-tolerant, bounded).
+  for (int i = 0; i < 5000 && pool.park_count() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(pool.park_count(), 2u);
+  EXPECT_EQ(pool.steal_count(), 0u);
+
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  group.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 1);
+  for (int i = 0; i < 5000 && pool.wakeup_count() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(pool.wakeup_count(), 1u);
+  // Every wakeup was preceded by its park (read wakeups first: a
+  // concurrent park may land between the two loads, never a wakeup
+  // without one).
+  const std::uint64_t wakeups = pool.wakeup_count();
+  EXPECT_GE(pool.park_count(), wakeups);
+}
+
 TEST(Table, MarkdownShape) {
   Table t({"a", "bb"});
   t.add_row({"1", "2"});
