@@ -13,6 +13,11 @@
 // views::shrink_all_pairs sweep, values cross-checked (the >= 10x
 // acceptance bar of the batched census engine).
 //
+// M5 — refinement-engine micro-benchmark: the naive fixpoint oracle vs
+// the splitter-worklist partition refinement on census-density random
+// graphs, n = 64..2048, with a cell-by-cell class equality check per
+// size (the >= 10x @ n=1024 acceptance bar of the worklist engine).
+//
 // Emits one BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set,
 // else the working directory) covering all comparisons for trend
 // tracking.
@@ -33,6 +38,7 @@
 #include "sweep/sweep.hpp"
 #include "views/quotient.hpp"
 #include "views/refinement.hpp"
+#include "views/refinement_worklist.hpp"
 #include "views/shrink.hpp"
 
 namespace {
@@ -343,6 +349,72 @@ int main() {
       "M4: all-pairs Shrink, per-pair product BFS vs batched sweep",
       shrink_cmp);
 
+  // ---- M5: naive fixpoint vs splitter-worklist refinement ------------
+  // Two families through both engines at n = 64..2048, every size
+  // cross-checked cell by cell on class ids and count — the canonical
+  // contract the facade swap rests on. "random" rows use census
+  // density (extra ~ 1.75 n, the c1 ratio); those converge in ~diam
+  // rounds, so both engines are near-linear and the speedup is modest.
+  // "path" rows are the naive engine's worst case — refinement peels
+  // one distance-to-end layer per round, Theta(n) rounds, the O(n^2 m)
+  // bound realized — where the worklist's O(m log n) shows up as the
+  // acceptance-bar speedup (refine_speedup_1024 below is the path row).
+  // The naive side is timed once (it is the engine being retired); the
+  // worklist side gets the usual best-of repeats.
+  struct RefinePoint {
+    const char* family;
+    std::uint32_t n;
+    std::uint64_t edges;
+    std::uint32_t classes;
+    double naive_ms;
+    double worklist_ms;
+    double speedup;
+  };
+  std::vector<RefinePoint> refine_points;
+  double refine_speedup_1024 = 0;
+  rdv::support::Table refine_cmp({"family", "n", "edges", "classes",
+                                  "naive ms", "worklist ms", "speedup"});
+  for (const char* family : {"random", "path"}) {
+    const bool is_path = std::string("path") == family;
+    for (const std::uint32_t rn : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      const auto rg =
+          is_path ? families::path_graph(rn)
+                  : families::random_connected(rn, (rn * 7) / 4,
+                                               /*seed=*/40 + rn);
+      rdv::views::ViewClasses naive;
+      const double naive_ms = best_of_ms(1, [&] {
+        naive = rdv::views::compute_view_classes_naive(rg);
+      });
+      rdv::views::ViewClasses worklist;
+      const double worklist_ms = best_of_ms(repeats, [&] {
+        worklist = rdv::views::compute_view_classes_worklist(rg);
+      });
+      if (worklist.class_count != naive.class_count ||
+          worklist.class_of != naive.class_of) {
+        std::fprintf(stderr,
+                     "error: worklist refinement disagrees with the naive "
+                     "oracle on %s\n",
+                     rg.name().c_str());
+        return 1;
+      }
+      const double speedup = worklist_ms > 0 ? naive_ms / worklist_ms : 0;
+      if (is_path && rn == 1024) refine_speedup_1024 = speedup;
+      refine_points.push_back(RefinePoint{family, rn, rg.edge_count(),
+                                          worklist.class_count, naive_ms,
+                                          worklist_ms, speedup});
+      refine_cmp.add_row({family, std::to_string(rn),
+                          std::to_string(rg.edge_count()),
+                          std::to_string(worklist.class_count),
+                          rdv::support::format_double(naive_ms, 3),
+                          rdv::support::format_double(worklist_ms, 3),
+                          rdv::support::format_double(speedup, 1)});
+    }
+  }
+  rdv::analysis::emit_table(
+      "micro_sweep_refine",
+      "M5: view refinement, naive fixpoint vs splitter worklist",
+      refine_cmp);
+
   const char* dir = std::getenv("REPRO_CSV_DIR");
   const std::string json_path =
       (dir != nullptr ? std::string(dir) + "/" : std::string()) +
@@ -367,7 +439,19 @@ int main() {
        << ",\"per_pair_ms\":" << per_pair_ms
        << ",\"batched_ms\":" << batched_ms
        << ",\"batched_speedup\":" << batched_speedup
-       << ",\"scaling\":[";
+       << ",\"refine_speedup_1024\":" << refine_speedup_1024
+       << ",\"refine\":[";
+  for (std::size_t i = 0; i < refine_points.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "{\"family\":\"" << refine_points[i].family
+         << "\",\"n\":" << refine_points[i].n
+         << ",\"edges\":" << refine_points[i].edges
+         << ",\"classes\":" << refine_points[i].classes
+         << ",\"naive_ms\":" << refine_points[i].naive_ms
+         << ",\"worklist_ms\":" << refine_points[i].worklist_ms
+         << ",\"speedup\":" << refine_points[i].speedup << "}";
+  }
+  json << "],\"scaling\":[";
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     if (i != 0) json << ",";
     json << "{\"threads\":" << scaling[i].threads

@@ -3,11 +3,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "cache/fingerprint.hpp"
 #include "cache/sharded_store.hpp"
 #include "graph/graph.hpp"
 #include "store/disk_store.hpp"
+#include "support/thread_pool.hpp"
 #include "uxs/uxs.hpp"
 #include "views/quotient.hpp"
 #include "views/refinement.hpp"
@@ -109,6 +113,18 @@ class ArtifactCache {
   [[nodiscard]] std::shared_ptr<const views::ViewClasses> view_classes(
       const graph::Graph& g, const GraphFingerprint& fp);
 
+  /// Cache-aware face of views::view_classes_batch (ISSUE 8): refines
+  /// many graphs at once, fanning contiguous chunks onto `pool`
+  /// (nullptr: the process default) while every graph still resolves
+  /// through both tiers — memory hits and disk read-throughs skip the
+  /// refiner entirely, so a warm store keeps its zero-recompute
+  /// invariant, and actual computes land on the pool workers' reusable
+  /// worklist arenas. Results come back in input order; deterministic
+  /// regardless of schedule or cache state.
+  [[nodiscard]] std::vector<std::shared_ptr<const views::ViewClasses>>
+  view_classes_batch(std::span<const graph::Graph* const> graphs,
+                     support::ThreadPool* pool = nullptr);
+
   /// Quotient of g by view equivalence; resolves the partition through
   /// the view-classes store (reusing one fingerprint for both), so a
   /// quotient miss warms both.
@@ -184,6 +200,13 @@ class ArtifactCache {
 /// global_cache() when cache is nullptr.
 [[nodiscard]] std::shared_ptr<const views::ViewClasses> cached_view_classes(
     const graph::Graph& g, ArtifactCache* cache = nullptr);
+
+/// All symmetric pairs (u, v) with u < v, with the partition resolved
+/// through the artifact cache instead of recomputed per call (ISSUE 8
+/// satellite: views::symmetric_pairs(g) refines from scratch every
+/// time — fine inside views, wasteful anywhere a cache is in reach).
+[[nodiscard]] std::vector<std::pair<graph::Node, graph::Node>>
+cached_symmetric_pairs(const graph::Graph& g, ArtifactCache* cache = nullptr);
 [[nodiscard]] std::shared_ptr<const views::QuotientGraph> cached_quotient(
     const graph::Graph& g, ArtifactCache* cache = nullptr);
 [[nodiscard]] std::shared_ptr<const uxs::Uxs> cached_uxs(

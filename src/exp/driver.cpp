@@ -18,6 +18,8 @@
 #include "support/env.hpp"
 #include "support/thread_pool.hpp"
 #include "uxs/corpus.hpp"
+#include "views/refinement.hpp"
+#include "views/refinement_worklist.hpp"
 #include "views/shrink.hpp"
 
 namespace rdv::exp {
@@ -327,6 +329,15 @@ void register_metric_sources() {
             views::shrink_pair_bfs_count();
         snap.counters["views.shrink_all_pairs_computes"] =
             views::shrink_all_pairs_compute_count();
+        // Worklist refinement effort (ISSUE 8). refine_naive counts
+        // oracle runs — CI asserts it stays zero on the census path
+        // (production refinement never falls back to O(n^2 m)).
+        snap.counters["views.refine_worklist_computes"] =
+            views::refine_worklist_compute_count();
+        snap.counters["views.refine_splits"] = views::refine_split_count();
+        snap.counters["views.refine_worklist_pops"] =
+            views::refine_worklist_pop_count();
+        snap.counters["views.refine_naive"] = views::refine_naive_count();
       });
 }
 
@@ -346,6 +357,18 @@ void print_run_stats() {
                static_cast<unsigned long long>(views::shrink_pair_bfs_count()),
                static_cast<unsigned long long>(
                    views::shrink_all_pairs_compute_count()));
+  // Worklist refinement effort; refine_naive must read 0 on the census
+  // (the naive engine survives only as a test oracle), and a warm store
+  // leaves refine_worklist_computes at zero.
+  std::fprintf(stderr,
+               "rdv_bench: refine_worklist_computes=%llu refine_splits=%llu "
+               "refine_worklist_pops=%llu refine_naive=%llu\n",
+               static_cast<unsigned long long>(
+                   views::refine_worklist_compute_count()),
+               static_cast<unsigned long long>(views::refine_split_count()),
+               static_cast<unsigned long long>(
+                   views::refine_worklist_pop_count()),
+               static_cast<unsigned long long>(views::refine_naive_count()));
   const store::DiskStore* disk = cache::global_cache().disk();
   if (disk == nullptr) return;
   std::fprintf(stderr, "rdv_bench: store dir=%s salt=%s\n",

@@ -1,7 +1,10 @@
-#include <algorithm>
 #include "views/refinement.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <map>
+
+#include "views/refinement_worklist.hpp"
 
 namespace rdv::views {
 
@@ -9,7 +12,22 @@ using graph::Graph;
 using graph::Node;
 using graph::Port;
 
+namespace {
+
+std::atomic<std::uint64_t> naive_runs{0};
+
+}  // namespace
+
+std::uint64_t refine_naive_count() {
+  return naive_runs.load(std::memory_order_relaxed);
+}
+
 ViewClasses compute_view_classes(const Graph& g) {
+  return compute_view_classes_worklist(g);
+}
+
+ViewClasses compute_view_classes_naive(const Graph& g) {
+  naive_runs.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t n = g.size();
   ViewClasses out;
   out.class_of.assign(n, 0);
@@ -73,25 +91,29 @@ std::uint32_t view_distance(const Graph& g, Node u, Node v) {
   if (classes[u] != classes[v]) return 0;
   std::uint32_t count =
       *std::max_element(classes.begin(), classes.end()) + 1;
+  // One signature buffer and one next-classes buffer, reused across
+  // every depth: the map copies a key only when the signature is new,
+  // so steady-state depths allocate nothing per node.
+  using Signature = std::vector<std::uint64_t>;
+  Signature sig;
+  std::vector<std::uint32_t> next(n);
   for (std::uint32_t depth = 1;; ++depth) {
-    using Signature = std::vector<std::uint64_t>;
     std::map<Signature, std::uint32_t> ids;
-    std::vector<std::uint32_t> next(n);
     for (Node w = 0; w < n; ++w) {
-      Signature sig;
+      sig.clear();
       sig.push_back(classes[w]);
       for (const graph::HalfEdge& e : g.edges(w)) {
         sig.push_back((static_cast<std::uint64_t>(classes[e.to]) << 32) |
                       e.rev_port);
       }
-      auto [it, _] = ids.try_emplace(std::move(sig),
-                                     static_cast<std::uint32_t>(ids.size()));
+      auto [it, _] =
+          ids.try_emplace(sig, static_cast<std::uint32_t>(ids.size()));
       next[w] = it->second;
     }
     if (next[u] != next[v]) return depth;
     const auto new_count = static_cast<std::uint32_t>(ids.size());
     if (new_count == count) return kViewsEqual;  // stable: symmetric
-    classes = std::move(next);
+    classes.swap(next);
     count = new_count;
   }
 }

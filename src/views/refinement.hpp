@@ -10,18 +10,31 @@
 ///
 /// Two nodes are symmetric (Section 2) when their views — the infinite
 /// trees of port-coded paths of Yamashita–Kameda — are equal. Views are
-/// equal iff they agree to depth n-1, and the classes of the iterated
-/// degree/port refinement below stabilize to exactly the
-/// view-equivalence classes, so symmetry is decidable in O(n^2 * m)
-/// without materializing views.
+/// equal iff they agree to depth n-1, and the classes of iterated
+/// degree/port refinement stabilize to exactly the view-equivalence
+/// classes, so symmetry is decidable without materializing views.
+///
+/// Two engines compute the partition:
+/// - compute_view_classes (production): the smaller-half worklist
+///   refinement in refinement_worklist.hpp, O(m log n);
+/// - compute_view_classes_naive (oracle): the original synchronous
+///   re-refinement, O(n^2 * m) worst case, kept as the independent
+///   reference the worklist engine is tested byte-identical against.
 namespace rdv::views {
 
 struct ViewClasses {
   /// class_of[v] = stable class id; ids are dense, ordered by first
-  /// occurrence in node order (so they are canonical for a given graph).
+  /// occurrence in node order (so they are canonical for a given graph
+  /// REGARDLESS of the computing engine — the canonical contract every
+  /// codec byte, cached artifact, and quotient consumer relies on).
   std::vector<std::uint32_t> class_of;
   std::uint32_t class_count = 0;
-  /// Number of refinement rounds until the partition stabilized.
+  /// Refinement-effort diagnostic of the engine that produced the
+  /// partition: worklist waves until the splitter queue drained for the
+  /// production engine, synchronous re-refinement rounds for the naive
+  /// oracle. NOT part of the canonical contract above (the two engines
+  /// may legitimately differ here); only ever read by humans and
+  /// histograms.
   std::uint32_t rounds = 0;
 
   [[nodiscard]] bool symmetric(graph::Node u, graph::Node v) const {
@@ -29,8 +42,18 @@ struct ViewClasses {
   }
 };
 
-/// Computes the stable view-equivalence partition.
+/// Computes the stable view-equivalence partition (worklist engine).
 [[nodiscard]] ViewClasses compute_view_classes(const graph::Graph& g);
+
+/// The original synchronous O(n^2 * m) refinement, retained verbatim as
+/// the test oracle: every round rebuilds every node's full signature.
+/// class_of/class_count are byte-identical to compute_view_classes.
+[[nodiscard]] ViewClasses compute_view_classes_naive(const graph::Graph& g);
+
+/// Naive-oracle invocations (cumulative process counter) — CI asserts
+/// this stays ZERO on census runs: nothing on a production path may
+/// fall back to the O(n^2 m) engine.
+[[nodiscard]] std::uint64_t refine_naive_count();
 
 /// Convenience: are u and v symmetric in g?
 [[nodiscard]] bool symmetric(const graph::Graph& g, graph::Node u,

@@ -69,7 +69,8 @@ TEST_P(AdversaryInvariant, SymmetricStartsObserveIdentically) {
   const std::uint64_t seed = GetParam();
   for (const Graph& g : corpus) {
     const ViewClasses classes = compute_view_classes(g);
-    const auto pairs = symmetric_pairs(g);
+    // Reuse the partition just computed instead of refining again.
+    const auto pairs = symmetric_pairs(g, classes);
     ASSERT_FALSE(pairs.empty()) << g.name();
     // Sample a few pairs per graph.
     for (std::size_t idx = 0; idx < pairs.size();

@@ -56,7 +56,7 @@ TEST_P(RandomGraphSweep, SymmRVMeetsAllSymmetricPairsAtShrink) {
   const uxs::Uxs y = uxs::covering_uxs(g);
   ASSERT_TRUE(uxs::is_uxs_for(g, y));
   const auto classes = views::compute_view_classes(g);
-  for (const auto& [u, v] : views::symmetric_pairs(g)) {
+  for (const auto& [u, v] : views::symmetric_pairs(g, classes)) {
     const std::uint32_t s = views::shrink(g, u, v);
     sim::RunConfig config;
     config.max_rounds = support::sat_mul(
