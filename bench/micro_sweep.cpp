@@ -18,6 +18,12 @@
 // graphs, n = 64..2048, with a cell-by-cell class equality check per
 // size (the >= 10x @ n=1024 acceptance bar of the worklist engine).
 //
+// M6 — task-profiler overhead: the M2 kernel on a dedicated 4-thread
+// pool with task-lifecycle events off vs on (interleaved best-of-5),
+// gated at <= 2% overhead with zero dropped events, and the
+// reconstructed critical path must account for the sweep wall within
+// 5% — the "observability must not perturb what it observes" bar.
+//
 // Emits one BENCH_sweep.json datapoint (into REPRO_CSV_DIR when set,
 // else the working directory) covering all comparisons for trend
 // tracking.
@@ -30,6 +36,8 @@
 
 #include "analysis/experiments.hpp"
 #include "cache/artifact_cache.hpp"
+#include "obs/profile.hpp"
+#include "obs/task_events.hpp"
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "support/bench_json.hpp"
@@ -415,6 +423,89 @@ int main() {
       "M5: view refinement, naive fixpoint vs splitter worklist",
       refine_cmp);
 
+  // ---- M6: task-profiler overhead, off vs on -------------------------
+  // Interleaved off/on pairs so thermal and cache drift hit both sides
+  // equally; best-of-5 each. clear_task_events before every profiled
+  // run keeps the final drain to exactly one run's events.
+  rdv::obs::set_task_event_ring_capacity(1u << 16);
+  rdv::support::ThreadPool profile_pool(4);
+  rdv::sweep::SweepConfig profile_config;
+  profile_config.pool = &profile_pool;
+  profile_config.chunk_size = 16;
+  const int profile_repeats = 5;
+  double profile_off_ms = 0;
+  double profile_on_ms = 0;
+  for (int i = 0; i < profile_repeats; ++i) {
+    rdv::obs::set_task_events_enabled(false);
+    const double off = best_of_ms(1, [&] {
+      (void)rdv::sweep::run_stic_sweep(stics, kernel, profile_config);
+    });
+    if (i == 0 || off < profile_off_ms) profile_off_ms = off;
+    rdv::obs::set_task_events_enabled(true);
+    rdv::obs::clear_task_events();
+    const double on = best_of_ms(1, [&] {
+      (void)rdv::sweep::run_stic_sweep(stics, kernel, profile_config);
+    });
+    if (i == 0 || on < profile_on_ms) profile_on_ms = on;
+  }
+  rdv::obs::set_task_events_enabled(false);
+  const rdv::obs::Profile profile =
+      rdv::obs::build_profile(rdv::obs::drain_task_events());
+  const double profile_overhead_pct =
+      profile_off_ms > 0
+          ? (profile_on_ms - profile_off_ms) / profile_off_ms * 100.0
+          : 0;
+  if (profile.dropped != 0) {
+    std::fprintf(stderr,
+                 "error: task profiler dropped %llu events (ring too "
+                 "small for the workload)\n",
+                 static_cast<unsigned long long>(profile.dropped));
+    return 1;
+  }
+  // The 0.5 ms absolute floor keeps a sub-millisecond smoke kernel
+  // from failing the relative gate on scheduler noise alone.
+  if (profile_overhead_pct > 2.0 &&
+      (profile_on_ms - profile_off_ms) > 0.5) {
+    std::fprintf(stderr,
+                 "error: task profiler overhead %.2f%% exceeds the 2%% "
+                 "gate (off %.3f ms, on %.3f ms)\n",
+                 profile_overhead_pct, profile_off_ms, profile_on_ms);
+    return 1;
+  }
+  for (const rdv::obs::SweepProfile& sp : profile.sweeps) {
+    if (sp.micros() == 0) continue;
+    const rdv::obs::CriticalPath cp =
+        rdv::obs::critical_path(profile, sp.id);
+    const double deviation =
+        (cp.stage_sum() > cp.total_micros
+             ? static_cast<double>(cp.stage_sum() - cp.total_micros)
+             : static_cast<double>(cp.total_micros - cp.stage_sum())) /
+        static_cast<double>(cp.total_micros);
+    if (deviation > 0.05) {
+      std::fprintf(stderr,
+                   "error: sweep %llu critical-path stage sum %llu us "
+                   "deviates %.1f%% from wall %llu us\n",
+                   static_cast<unsigned long long>(sp.id),
+                   static_cast<unsigned long long>(cp.stage_sum()),
+                   deviation * 100.0,
+                   static_cast<unsigned long long>(cp.total_micros));
+      return 1;
+    }
+  }
+  rdv::support::Table profile_cmp(
+      {"config", "threads", "best ms", "overhead %", "events", "dropped"});
+  profile_cmp.add_row({"profile off", "4",
+                       rdv::support::format_double(profile_off_ms, 3), "-",
+                       "-", "-"});
+  profile_cmp.add_row({"profile on", "4",
+                       rdv::support::format_double(profile_on_ms, 3),
+                       rdv::support::format_double(profile_overhead_pct, 2),
+                       std::to_string(profile.events),
+                       std::to_string(profile.dropped)});
+  rdv::analysis::emit_table(
+      "micro_sweep_profile",
+      "M6: task-lifecycle profiler overhead, off vs on", profile_cmp);
+
   const char* dir = std::getenv("REPRO_CSV_DIR");
   const std::string json_path =
       (dir != nullptr ? std::string(dir) + "/" : std::string()) +
@@ -440,6 +531,11 @@ int main() {
        << ",\"batched_ms\":" << batched_ms
        << ",\"batched_speedup\":" << batched_speedup
        << ",\"refine_speedup_1024\":" << refine_speedup_1024
+       << ",\"profile_off_ms\":" << profile_off_ms
+       << ",\"profile_on_ms\":" << profile_on_ms
+       << ",\"profile_overhead_pct\":" << profile_overhead_pct
+       << ",\"profile_events\":" << profile.events
+       << ",\"profile_dropped\":" << profile.dropped
        << ",\"refine\":[";
   for (std::size_t i = 0; i < refine_points.size(); ++i) {
     if (i != 0) json << ",";

@@ -29,10 +29,17 @@ commands:
       print a metrics snapshot (as written by rdv_bench --metrics-out)
       in human-readable form
   diff BASE CURRENT [--tolerance F] [--min-micros N]
+       [--history DIR] [--sigmas F] [--min-runs N]
       perf-trend gate: compare every *.wall_micros series in BASE
-      against CURRENT; exit 1 when any current mean exceeds
-      base * (1 + tolerance). --min-micros sets a noise floor below
-      which series never regress. Default tolerance: 0.25.
+      against CURRENT; exit 1 when any current mean exceeds its band.
+      Without history the band is flat: base * (1 + tolerance)
+      (default 0.25). With --history DIR (prior runs' snapshots,
+      *.json), a series seen in at least --min-runs history files
+      (default 3) is gated against the variance-aware band
+      mu + max(sigmas * sigma, mu * 0.05) over its historical means
+      (--sigmas default 3.0); thinner series fall back to the flat
+      band. --min-micros sets a noise floor below which series never
+      regress.
   assert FILE EXPR...
       evaluate invariant expressions (name OP value, OP one of
       == != <= >= < >) against the snapshot, e.g.
@@ -75,8 +82,34 @@ int cmd_dump(const std::vector<std::string>& args) {
 int cmd_diff(const std::vector<std::string>& args) {
   std::vector<std::string> files;
   rdv::obs::DiffOptions options;
+  std::string history_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--tolerance") {
+    if (args[i] == "--history") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--history needs a directory");
+      }
+      history_dir = args[++i];
+    } else if (args[i] == "--sigmas") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--sigmas needs a value");
+      }
+      char* end = nullptr;
+      options.sigmas = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' || options.sigmas <= 0.0) {
+        return usage_error("--sigmas needs a positive number");
+      }
+    } else if (args[i] == "--min-runs") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--min-runs needs a value");
+      }
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0' || v == 0) {
+        return usage_error("--min-runs needs a positive integer");
+      }
+      options.min_history_runs = v;
+    } else if (args[i] == "--tolerance") {
       if (i + 1 >= args.size()) {
         return usage_error("--tolerance needs a value");
       }
@@ -111,8 +144,14 @@ int cmd_diff(const std::vector<std::string>& args) {
   if (!read_snapshot(files[0], base) || !read_snapshot(files[1], current)) {
     return 2;
   }
+  std::vector<rdv::obs::MetricsSnapshot> history;
+  if (!history_dir.empty()) {
+    history = rdv::obs::load_snapshot_dir(history_dir);
+    std::printf("history: %zu usable snapshot(s) from %s\n", history.size(),
+                history_dir.c_str());
+  }
   const rdv::obs::DiffReport report =
-      rdv::obs::diff_snapshots(base, current, options);
+      rdv::obs::diff_snapshots_with_history(base, current, history, options);
   for (const std::string& line : report.lines) {
     std::printf("%s\n", line.c_str());
   }

@@ -12,6 +12,8 @@
 #include "exp/scenarios/scenarios.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_tools.hpp"
+#include "obs/profile.hpp"
+#include "obs/task_events.hpp"
 #include "obs/trace.hpp"
 #include "store/result_log.hpp"
 #include "support/bench_json.hpp"
@@ -54,6 +56,12 @@ options:
                    it to rdv_metrics dump|diff|assert
   --trace-out F    enable span tracing and write a Chrome-trace /
                    Perfetto JSON (chrome://tracing, ui.perfetto.dev)
+  --profile-out F  enable task-lifecycle profiling and write the
+                   scheduler profile (submit/steal/exec/park per task,
+                   sweep DAGs) as JSON; analyze with rdv_profile
+                   report|top|diff. Combined with --trace-out, the
+                   trace gains flow arrows stitching each task's
+                   submit -> steal -> execute -> merge across threads
   --check          fail (exit 1) if any experiment emits an empty table
   --help           this text
 
@@ -81,6 +89,7 @@ struct Args {
   std::string result_log;
   std::string metrics_out;
   std::string trace_out;
+  std::string profile_out;
   std::vector<std::string> selectors;
 };
 
@@ -121,7 +130,7 @@ int parse_args(int argc, const char* const* argv, Args& args) {
         arg == "--threads" || arg == "--chunk" || arg == "--csv-dir" ||
         arg == "--json-dir" || arg == "--store-dir" ||
         arg == "--result-log" || arg == "--metrics-out" ||
-        arg == "--trace-out";
+        arg == "--trace-out" || arg == "--profile-out";
     if (has_inline && !takes_value) {
       std::fprintf(stderr, "rdv_bench: option %s does not take a value\n",
                    std::string(arg).c_str());
@@ -159,7 +168,8 @@ int parse_args(int argc, const char* const* argv, Args& args) {
       }
     } else if (arg == "--csv-dir" || arg == "--json-dir" ||
                arg == "--store-dir" || arg == "--result-log" ||
-               arg == "--metrics-out" || arg == "--trace-out") {
+               arg == "--metrics-out" || arg == "--trace-out" ||
+               arg == "--profile-out") {
       std::string_view v;
       if (!value(v) || v.empty()) {
         std::fprintf(stderr, "rdv_bench: %s needs a path\n",
@@ -171,7 +181,8 @@ int parse_args(int argc, const char* const* argv, Args& args) {
                           : arg == "--store-dir"  ? args.store_dir
                           : arg == "--result-log" ? args.result_log
                           : arg == "--metrics-out" ? args.metrics_out
-                                                   : args.trace_out;
+                          : arg == "--trace-out"  ? args.trace_out
+                                                  : args.profile_out;
       slot = std::string(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "rdv_bench: unknown option %s\n%s",
@@ -320,6 +331,18 @@ void register_metric_sources() {
         }
       });
   obs::Registry::instance().register_source(
+      "exp.obs", [](obs::MetricsSnapshot& snap) {
+        // Observability self-monitoring (ISSUE 9): ring overwrites in
+        // the span tracer and the task-event log surface as counters,
+        // so CI can assert obs.*_dropped==0 on smoke runs — a sidecar
+        // that silently lost events is worse than none.
+        snap.counters["obs.trace_dropped"] = obs::trace_dropped_count();
+        snap.counters["obs.task_events_dropped"] =
+            obs::task_events_dropped_count();
+        snap.counters["obs.task_events_recorded"] =
+            obs::task_events_recorded_count();
+      });
+  obs::Registry::instance().register_source(
       "exp.process", [](obs::MetricsSnapshot& snap) {
         // The CI invariant assertions read these: zero pair-BFS on the
         // batched census path, zero verifications on a warm store.
@@ -456,9 +479,11 @@ int run_main(int argc, const char* const* argv) {
   if (!args.store_dir.empty()) {
     ::setenv("RDV_STORE_DIR", args.store_dir.c_str(), 1);
   }
-  // Tracing flips on only when a sink was requested (and before the
-  // pool spins up, so worker park/assist spans are captured too).
+  // Tracing/profiling flip on only when a sink was requested (and
+  // before the pool spins up, so worker park/assist events are
+  // captured too).
   if (!args.trace_out.empty()) obs::set_trace_enabled(true);
+  if (!args.profile_out.empty()) obs::set_task_events_enabled(true);
   register_metric_sources();
 
   const Registry& registry = builtin_registry();
@@ -598,11 +623,24 @@ int run_main(int argc, const char* const* argv) {
     }
   }
   if (!args.trace_out.empty()) {
-    if (!obs::write_chrome_trace(args.trace_out)) {
+    // With profiling also on, the trace gains per-task flow arrows
+    // (submit -> steal -> execute -> merge) on the same thread rows.
+    const bool ok = args.profile_out.empty()
+                        ? obs::write_chrome_trace(args.trace_out)
+                        : obs::write_chrome_trace_with_tasks(args.trace_out);
+    if (!ok) {
       ++failures;
     } else {
       std::fprintf(stderr, "rdv_bench: chrome trace written to %s\n",
                    args.trace_out.c_str());
+    }
+  }
+  if (!args.profile_out.empty()) {
+    if (!obs::write_profile(args.profile_out)) {
+      ++failures;
+    } else {
+      std::fprintf(stderr, "rdv_bench: scheduler profile written to %s\n",
+                   args.profile_out.c_str());
     }
   }
   if (failures != 0) {

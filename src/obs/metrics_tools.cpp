@@ -1,8 +1,13 @@
 #include "obs/metrics_tools.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace rdv::obs {
@@ -236,6 +241,15 @@ std::string render_metrics_dump(const MetricsSnapshot& snap) {
 DiffReport diff_snapshots(const MetricsSnapshot& base,
                           const MetricsSnapshot& current,
                           const DiffOptions& options) {
+  // With no history every series falls back to the flat band, which is
+  // exactly the pre-history behavior.
+  return diff_snapshots_with_history(base, current, {}, options);
+}
+
+DiffReport diff_snapshots_with_history(
+    const MetricsSnapshot& base, const MetricsSnapshot& current,
+    const std::vector<MetricsSnapshot>& history,
+    const DiffOptions& options) {
   DiffReport report;
   constexpr std::string_view kWallSuffix = ".wall_micros";
   for (const auto& [name, base_hist] : base.histograms) {
@@ -252,15 +266,48 @@ DiffReport diff_snapshots(const MetricsSnapshot& base,
     }
     const double base_mean = base_hist.mean();
     const double cur_mean = it->second.mean();
-    const double band = base_mean * (1.0 + options.tolerance);
+
+    // The variance-aware band: enough history turns the gate into
+    // mu + max(sigmas*sigma, mu*min_band_frac) over the historical
+    // per-run means — tight for stable series, loose for noisy ones.
+    std::vector<double> means;
+    for (const MetricsSnapshot& past : history) {
+      const auto hit = past.histograms.find(name);
+      if (hit != past.histograms.end() && hit->second.count != 0) {
+        means.push_back(hit->second.mean());
+      }
+    }
+    double band = base_mean * (1.0 + options.tolerance);
+    double floor_mean = base_mean;
+    std::string band_note;
+    if (means.size() >= options.min_history_runs) {
+      double mu = 0.0;
+      for (const double m : means) mu += m;
+      mu /= static_cast<double>(means.size());
+      double var = 0.0;
+      for (const double m : means) var += (m - mu) * (m - mu);
+      var /= static_cast<double>(means.size());
+      const double sigma = std::sqrt(var);
+      band = mu + std::max(options.sigmas * sigma,
+                           mu * options.min_band_frac);
+      floor_mean = mu;
+      band_note = " (history n=" + std::to_string(means.size()) +
+                  ", mu " + format_micros(mu) + "us, sigma " +
+                  format_micros(sigma) + "us)";
+    } else if (!history.empty()) {
+      band_note = " (thin history n=" + std::to_string(means.size()) +
+                  ", flat band)";
+    }
+
     const bool below_floor =
-        base_mean < static_cast<double>(options.min_micros) &&
+        floor_mean < static_cast<double>(options.min_micros) &&
         cur_mean < static_cast<double>(options.min_micros);
     const bool regressed = !below_floor && cur_mean > band;
     std::string line = (regressed ? "REGRESSION " : "ok ") + name +
                        ": base mean " + format_micros(base_mean) +
                        "us, current " + format_micros(cur_mean) +
                        "us, band <= " + format_micros(band) + "us";
+    line += band_note;
     if (below_floor) line += " (below noise floor)";
     report.lines.push_back(std::move(line));
     if (regressed) ++report.regressions;
@@ -277,6 +324,37 @@ DiffReport diff_snapshots(const MetricsSnapshot& base,
     }
   }
   return report;
+}
+
+std::vector<MetricsSnapshot> load_snapshot_dir(const std::string& dir) {
+  std::vector<MetricsSnapshot> history;
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      paths.push_back(entry.path());
+    }
+  }
+  if (ec) return history;  // missing directory = empty history
+  std::sort(paths.begin(), paths.end());
+  for (const std::filesystem::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "metrics: skipping unreadable history %s\n",
+                   path.string().c_str());
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      history.push_back(parse_metrics_json(buffer.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics: skipping history %s: %s\n",
+                   path.string().c_str(), e.what());
+    }
+  }
+  return history;
 }
 
 AssertResult check_assertion(const MetricsSnapshot& snap,

@@ -31,11 +31,20 @@ inline constexpr std::uint32_t kMetricsFormat = 1;
 struct DiffOptions {
   /// Allowed fractional growth of a wall-clock series before it counts
   /// as a regression: current mean must stay <= base mean * (1 +
-  /// tolerance).
+  /// tolerance). Used as the flat fallback band when a series lacks
+  /// enough history for the variance-aware band.
   double tolerance = 0.25;
   /// Noise floor: series whose base AND current means are below this
   /// many micros never regress (tiny experiments flap on CI runners).
   std::uint64_t min_micros = 0;
+  /// Variance-aware band (diff_snapshots_with_history): a series with
+  /// at least min_history_runs historical means gets the band
+  /// mu + max(sigmas * sigma, mu * min_band_frac) — tight for stable
+  /// series, naturally loose for noisy ones. min_band_frac keeps a
+  /// zero-variance history from gating at exactly mu.
+  double sigmas = 3.0;
+  double min_band_frac = 0.05;
+  std::size_t min_history_runs = 3;
 };
 
 struct DiffReport {
@@ -54,6 +63,26 @@ struct DiffReport {
 [[nodiscard]] DiffReport diff_snapshots(const MetricsSnapshot& base,
                                         const MetricsSnapshot& current,
                                         const DiffOptions& options = {});
+
+/// Variance-aware perf-trend gate (ISSUE 9): like diff_snapshots, but
+/// a series with >= options.min_history_runs means across `history`
+/// (prior runs' snapshots, e.g. the CI rolling-history artifact) is
+/// gated against the distribution-derived band mu + max(sigmas*sigma,
+/// mu*min_band_frac) instead of the flat baseline band. Series with
+/// thin history fall back to the flat band vs `base` — a brand-new
+/// series still gets gated on its first runs.
+[[nodiscard]] DiffReport diff_snapshots_with_history(
+    const MetricsSnapshot& base, const MetricsSnapshot& current,
+    const std::vector<MetricsSnapshot>& history,
+    const DiffOptions& options = {});
+
+/// Loads every *.json in `dir` as a snapshot, name-sorted (so the
+/// rolling history is order-stable across platforms). Unparsable or
+/// unreadable files are skipped with a stderr note — one corrupt
+/// history entry must not kill the gate. A missing directory is an
+/// empty history.
+[[nodiscard]] std::vector<MetricsSnapshot> load_snapshot_dir(
+    const std::string& dir);
 
 struct AssertResult {
   bool ok = false;

@@ -1,0 +1,871 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rdv::obs {
+
+namespace {
+
+std::uint64_t clamped_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+std::string format_ms(std::uint64_t micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(micros) / 1000.0);
+  return buf;
+}
+
+std::string format_pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", fraction * 100.0);
+  return buf;
+}
+
+// ---- rendering ------------------------------------------------------
+
+void append_task_json(std::string& out, const TaskProfile& t) {
+  out += "{\"id\":" + std::to_string(t.id);
+  out += ",\"sweep\":" + std::to_string(t.sweep);
+  out += ",\"chunk\":" + std::to_string(t.chunk);
+  out += ",\"is_chunk\":";
+  out += t.is_chunk ? "true" : "false";
+  out += ",\"stolen\":";
+  out += t.stolen ? "true" : "false";
+  out += ",\"victim\":" + std::to_string(t.steal_victim);
+  out += ",\"submit_tid\":" + std::to_string(t.submit_tid);
+  out += ",\"exec_tid\":" + std::to_string(t.exec_tid);
+  out += ",\"submit\":" + std::to_string(t.submit_t);
+  out += ",\"dequeue\":" + std::to_string(t.dequeue_t);
+  out += ",\"begin\":" + std::to_string(t.begin_t);
+  out += ",\"end\":" + std::to_string(t.end_t);
+  out += '}';
+}
+
+// ---- parsing --------------------------------------------------------
+//
+// Same deliberately small strict-parser shape as metrics_tools.cpp:
+// one Cursor for the one JSON shape we emit, every error naming its
+// offset so a truncated or hand-edited sidecar is diagnosable.
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("profile json: " + what + " at offset " +
+                             std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  [[nodiscard]] bool try_consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) fail("dangling escape");
+        c = text[pos++];
+        if (c != '"' && c != '\\') fail("unsupported escape");
+      }
+      out += c;
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;
+    return out;
+  }
+  [[nodiscard]] std::uint64_t parse_uint() {
+    skip_ws();
+    if (pos >= text.size() ||
+        std::isdigit(static_cast<unsigned char>(text[pos])) == 0) {
+      fail("expected non-negative integer");
+    }
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+      ++pos;
+    }
+    return value;
+  }
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      return false;
+    }
+    fail("expected boolean");
+  }
+};
+
+template <typename OnEntry>
+void parse_object(Cursor& cursor, const OnEntry& on_entry) {
+  cursor.expect('{');
+  if (cursor.try_consume('}')) return;
+  do {
+    std::string key = cursor.parse_string();
+    cursor.expect(':');
+    on_entry(std::move(key));
+  } while (cursor.try_consume(','));
+  cursor.expect('}');
+}
+
+template <typename OnElement>
+void parse_array(Cursor& cursor, const OnElement& on_element) {
+  cursor.expect('[');
+  if (cursor.try_consume(']')) return;
+  do {
+    on_element();
+  } while (cursor.try_consume(','));
+  cursor.expect(']');
+}
+
+TaskProfile parse_task(Cursor& cursor) {
+  TaskProfile t;
+  parse_object(cursor, [&](std::string key) {
+    if (key == "id") t.id = cursor.parse_uint();
+    else if (key == "sweep") t.sweep = cursor.parse_uint();
+    else if (key == "chunk") t.chunk = cursor.parse_uint();
+    else if (key == "is_chunk") t.is_chunk = cursor.parse_bool();
+    else if (key == "stolen") t.stolen = cursor.parse_bool();
+    else if (key == "victim") t.steal_victim = cursor.parse_uint();
+    else if (key == "submit_tid")
+      t.submit_tid = static_cast<std::uint32_t>(cursor.parse_uint());
+    else if (key == "exec_tid")
+      t.exec_tid = static_cast<std::uint32_t>(cursor.parse_uint());
+    else if (key == "submit") t.submit_t = cursor.parse_uint();
+    else if (key == "dequeue") t.dequeue_t = cursor.parse_uint();
+    else if (key == "begin") t.begin_t = cursor.parse_uint();
+    else if (key == "end") t.end_t = cursor.parse_uint();
+    else cursor.fail("unknown task field '" + key + "'");
+  });
+  return t;
+}
+
+MergeProfile parse_merge(Cursor& cursor) {
+  MergeProfile m;
+  parse_object(cursor, [&](std::string key) {
+    if (key == "sweep") m.sweep = cursor.parse_uint();
+    else if (key == "chunk") m.chunk = cursor.parse_uint();
+    else if (key == "tid")
+      m.tid = static_cast<std::uint32_t>(cursor.parse_uint());
+    else if (key == "begin") m.begin_t = cursor.parse_uint();
+    else if (key == "end") m.end_t = cursor.parse_uint();
+    else cursor.fail("unknown merge field '" + key + "'");
+  });
+  return m;
+}
+
+ParkInterval parse_park(Cursor& cursor) {
+  ParkInterval p;
+  parse_object(cursor, [&](std::string key) {
+    if (key == "tid")
+      p.tid = static_cast<std::uint32_t>(cursor.parse_uint());
+    else if (key == "begin") p.begin_t = cursor.parse_uint();
+    else if (key == "end") p.end_t = cursor.parse_uint();
+    else cursor.fail("unknown park field '" + key + "'");
+  });
+  return p;
+}
+
+SweepProfile parse_sweep(Cursor& cursor) {
+  SweepProfile s;
+  parse_object(cursor, [&](std::string key) {
+    if (key == "id") s.id = cursor.parse_uint();
+    else if (key == "chunks") s.chunks = cursor.parse_uint();
+    else if (key == "items") s.items = cursor.parse_uint();
+    else if (key == "tid")
+      s.tid = static_cast<std::uint32_t>(cursor.parse_uint());
+    else if (key == "begin") s.begin_t = cursor.parse_uint();
+    else if (key == "end") s.end_t = cursor.parse_uint();
+    else cursor.fail("unknown sweep field '" + key + "'");
+  });
+  return s;
+}
+
+constexpr std::uint64_t kProfileFormat = 1;
+
+/// Flow ids for the chunk-end -> merge-begin arrows live in a distinct
+/// id space from the submit -> begin arrows (which use the task id).
+constexpr std::uint64_t kMergeFlowBase = 1ULL << 62;
+
+/// log2 latency histogram over 65 buckets (bucket b = values of
+/// bit_width b; bucket 0 = zero), matching obs::histogram_bucket.
+struct LatencyHistogram {
+  std::array<std::uint64_t, 65> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void observe(std::uint64_t value) {
+    buckets[histogram_bucket(value)] += 1;
+    ++count;
+    sum += value;
+  }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+void append_histogram_lines(std::string& out, const LatencyHistogram& hist) {
+  if (hist.count == 0) {
+    out += "  (empty)\n";
+    return;
+  }
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    if (hist.buckets[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : 1ULL << (b - 1);
+    const std::uint64_t hi = b == 0 ? 1 : 1ULL << b;
+    out += "  [" + std::to_string(lo) + "," + std::to_string(hi) +
+           ") us: " + std::to_string(hist.buckets[b]) + "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", hist.mean());
+  out += "  mean " + std::string(buf) + " us over " +
+         std::to_string(hist.count) + " samples\n";
+}
+
+/// Per-thread busy/park aggregation shared by report and diff.
+struct ThreadUsage {
+  std::uint64_t busy_micros = 0;
+  std::uint64_t park_micros = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t merges = 0;
+};
+
+std::map<std::uint32_t, ThreadUsage> thread_usage(const Profile& profile) {
+  std::map<std::uint32_t, ThreadUsage> usage;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.begin_t == 0 || t.end_t == 0) continue;
+    ThreadUsage& u = usage[t.exec_tid];
+    u.busy_micros += t.exec_micros();
+    ++u.tasks;
+  }
+  for (const MergeProfile& m : profile.merges) {
+    ThreadUsage& u = usage[m.tid];
+    u.busy_micros += m.micros();
+    ++u.merges;
+  }
+  for (const ParkInterval& p : profile.parks) {
+    usage[p.tid].park_micros += clamped_sub(p.end_t, p.begin_t);
+  }
+  return usage;
+}
+
+std::uint64_t executed_task_count(const Profile& profile) {
+  std::uint64_t executed = 0;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.begin_t != 0) ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t stolen_task_count(const Profile& profile) {
+  std::uint64_t stolen = 0;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.stolen) ++stolen;
+  }
+  return stolen;
+}
+
+std::uint64_t total_exec_micros(const Profile& profile) {
+  std::uint64_t total = 0;
+  for (const TaskProfile& t : profile.tasks) total += t.exec_micros();
+  return total;
+}
+
+}  // namespace
+
+Profile build_profile(const std::vector<TaskEvent>& events) {
+  Profile profile;
+  profile.events = events.size();
+  profile.dropped = task_events_dropped_count();
+
+  std::unordered_map<std::uint64_t, TaskProfile> tasks;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, MergeProfile> merges;
+  std::unordered_map<std::uint32_t, std::uint64_t> pending_park;
+  std::map<std::uint64_t, SweepProfile> sweeps;
+
+  for (const TaskEvent& e : events) {
+    if (profile.t_min == 0 || e.t_micros < profile.t_min) {
+      profile.t_min = e.t_micros;
+    }
+    profile.t_max = std::max(profile.t_max, e.t_micros);
+    switch (e.kind) {
+      case TaskEventKind::kSubmit: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.submit_t = e.t_micros;
+        t.submit_tid = e.tid;
+        break;
+      }
+      case TaskEventKind::kDequeue: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.dequeue_t = e.t_micros;
+        break;
+      }
+      case TaskEventKind::kSteal: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.dequeue_t = e.t_micros;
+        t.stolen = true;
+        t.steal_victim = e.a;
+        break;
+      }
+      case TaskEventKind::kBegin: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.begin_t = e.t_micros;
+        t.exec_tid = e.tid;
+        break;
+      }
+      case TaskEventKind::kEnd: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.end_t = e.t_micros;
+        break;
+      }
+      case TaskEventKind::kPark:
+        pending_park[e.tid] = e.t_micros;
+        break;
+      case TaskEventKind::kUnpark: {
+        const auto it = pending_park.find(e.tid);
+        // An unpark whose park was overwritten (ring wrap) has no
+        // interval to close; skip it rather than invent one.
+        if (it == pending_park.end()) break;
+        profile.parks.push_back(ParkInterval{e.tid, it->second, e.t_micros});
+        pending_park.erase(it);
+        break;
+      }
+      case TaskEventKind::kSweepBegin: {
+        SweepProfile& s = sweeps[e.a];
+        s.id = e.a;
+        s.chunks = e.b;
+        s.tid = e.tid;
+        s.begin_t = e.t_micros;
+        break;
+      }
+      case TaskEventKind::kSweepEnd: {
+        SweepProfile& s = sweeps[e.a];
+        s.id = e.a;
+        s.items = e.b;
+        s.end_t = e.t_micros;
+        break;
+      }
+      case TaskEventKind::kChunkTask: {
+        TaskProfile& t = tasks[e.task];
+        t.id = e.task;
+        t.sweep = e.a;
+        t.chunk = e.b;
+        t.is_chunk = true;
+        break;
+      }
+      case TaskEventKind::kMergeBegin: {
+        MergeProfile& m = merges[{e.a, e.b}];
+        m.sweep = e.a;
+        m.chunk = e.b;
+        m.tid = e.tid;
+        m.begin_t = e.t_micros;
+        break;
+      }
+      case TaskEventKind::kMergeEnd: {
+        MergeProfile& m = merges[{e.a, e.b}];
+        m.sweep = e.a;
+        m.chunk = e.b;
+        m.end_t = e.t_micros;
+        break;
+      }
+    }
+  }
+
+  profile.tasks.reserve(tasks.size());
+  for (const auto& [id, t] : tasks) profile.tasks.push_back(t);
+  std::sort(profile.tasks.begin(), profile.tasks.end(),
+            [](const TaskProfile& a, const TaskProfile& b) {
+              return a.id < b.id;
+            });
+  profile.merges.reserve(merges.size());
+  for (const auto& [key, m] : merges) profile.merges.push_back(m);
+  profile.sweeps.reserve(sweeps.size());
+  for (const auto& [id, s] : sweeps) profile.sweeps.push_back(s);
+  std::sort(profile.parks.begin(), profile.parks.end(),
+            [](const ParkInterval& a, const ParkInterval& b) {
+              return a.begin_t != b.begin_t ? a.begin_t < b.begin_t
+                                           : a.tid < b.tid;
+            });
+  return profile;
+}
+
+double herd_factor(const Profile& profile) noexcept {
+  const std::uint64_t executed = executed_task_count(profile);
+  if (executed == 0) return 0.0;
+  return static_cast<double>(profile.parks.size()) /
+         static_cast<double>(executed);
+}
+
+CriticalPath critical_path(const Profile& profile, std::uint64_t sweep) {
+  CriticalPath path;
+  const SweepProfile* sp = nullptr;
+  for (const SweepProfile& s : profile.sweeps) {
+    if (s.id == sweep) sp = &s;
+  }
+  if (sp == nullptr) return path;
+  path.sweep = sweep;
+  path.total_micros = sp->micros();
+
+  std::vector<const MergeProfile*> merges;
+  for (const MergeProfile& m : profile.merges) {
+    if (m.sweep == sweep && m.end_t != 0) merges.push_back(&m);
+  }
+  std::unordered_map<std::uint64_t, const TaskProfile*> by_chunk;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.is_chunk && t.sweep == sweep) by_chunk[t.chunk] = &t;
+  }
+
+  if (merges.empty()) {
+    // Nothing merged (a zero-chunk sweep): the whole wall is tail.
+    path.tail_micros = path.total_micros;
+    return path;
+  }
+
+  // Merges are sequential on the merging thread, in chunk order; walk
+  // backward from the last one, at each hop following whichever
+  // dependency was binding: the previous merge or the chunk's task.
+  path.tail_micros = clamped_sub(sp->end_t, merges.back()->end_t);
+  std::size_t i = merges.size() - 1;
+  for (;;) {
+    const MergeProfile& cur = *merges[i];
+    path.merge_micros += cur.micros();
+    path.steps.push_back({"merge", cur.chunk, cur.micros()});
+    const TaskProfile* task = nullptr;
+    if (const auto it = by_chunk.find(cur.chunk); it != by_chunk.end()) {
+      if (it->second->complete()) task = it->second;
+    }
+    const std::uint64_t task_end = task != nullptr ? task->end_t : 0;
+    const std::uint64_t prev_end = i > 0 ? merges[i - 1]->end_t : 0;
+    if (i > 0 && prev_end >= task_end) {
+      path.stall_micros += clamped_sub(cur.begin_t, prev_end);
+      --i;
+      continue;
+    }
+    if (task != nullptr) {
+      path.stall_micros += clamped_sub(cur.begin_t, task->end_t);
+      path.exec_micros = task->exec_micros();
+      path.queue_micros = task->queue_micros();
+      path.schedule_micros = clamped_sub(task->submit_t, sp->begin_t);
+      path.steps.push_back(
+          {"task", cur.chunk, path.queue_micros + path.exec_micros});
+    } else {
+      // No usable task lifecycle (dropped events): fold the rest into
+      // schedule so the stages still partition the wall.
+      path.schedule_micros = clamped_sub(cur.begin_t, sp->begin_t);
+    }
+    break;
+  }
+  return path;
+}
+
+std::string render_profile_json(const Profile& profile) {
+  std::string out = "{\"format\":" + std::to_string(kProfileFormat);
+  out += ",\"events\":" + std::to_string(profile.events);
+  out += ",\"dropped\":" + std::to_string(profile.dropped);
+  out += ",\"t_min\":" + std::to_string(profile.t_min);
+  out += ",\"t_max\":" + std::to_string(profile.t_max);
+  out += ",\"tasks\":[";
+  for (std::size_t i = 0; i < profile.tasks.size(); ++i) {
+    if (i != 0) out += ',';
+    append_task_json(out, profile.tasks[i]);
+  }
+  out += "],\"merges\":[";
+  for (std::size_t i = 0; i < profile.merges.size(); ++i) {
+    const MergeProfile& m = profile.merges[i];
+    if (i != 0) out += ',';
+    out += "{\"sweep\":" + std::to_string(m.sweep);
+    out += ",\"chunk\":" + std::to_string(m.chunk);
+    out += ",\"tid\":" + std::to_string(m.tid);
+    out += ",\"begin\":" + std::to_string(m.begin_t);
+    out += ",\"end\":" + std::to_string(m.end_t);
+    out += '}';
+  }
+  out += "],\"parks\":[";
+  for (std::size_t i = 0; i < profile.parks.size(); ++i) {
+    const ParkInterval& p = profile.parks[i];
+    if (i != 0) out += ',';
+    out += "{\"tid\":" + std::to_string(p.tid);
+    out += ",\"begin\":" + std::to_string(p.begin_t);
+    out += ",\"end\":" + std::to_string(p.end_t);
+    out += '}';
+  }
+  out += "],\"sweeps\":[";
+  for (std::size_t i = 0; i < profile.sweeps.size(); ++i) {
+    const SweepProfile& s = profile.sweeps[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"chunks\":" + std::to_string(s.chunks);
+    out += ",\"items\":" + std::to_string(s.items);
+    out += ",\"tid\":" + std::to_string(s.tid);
+    out += ",\"begin\":" + std::to_string(s.begin_t);
+    out += ",\"end\":" + std::to_string(s.end_t);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool parse_profile_json(const std::string& text, Profile* out) {
+  try {
+    Cursor cursor{text};
+    Profile profile;
+    bool saw_format = false;
+    parse_object(cursor, [&](std::string key) {
+      if (key == "format") {
+        saw_format = true;
+        const std::uint64_t format = cursor.parse_uint();
+        if (format != kProfileFormat) {
+          cursor.fail("unsupported format " + std::to_string(format));
+        }
+      } else if (key == "events") {
+        profile.events = cursor.parse_uint();
+      } else if (key == "dropped") {
+        profile.dropped = cursor.parse_uint();
+      } else if (key == "t_min") {
+        profile.t_min = cursor.parse_uint();
+      } else if (key == "t_max") {
+        profile.t_max = cursor.parse_uint();
+      } else if (key == "tasks") {
+        parse_array(cursor, [&] {
+          profile.tasks.push_back(parse_task(cursor));
+        });
+      } else if (key == "merges") {
+        parse_array(cursor, [&] {
+          profile.merges.push_back(parse_merge(cursor));
+        });
+      } else if (key == "parks") {
+        parse_array(cursor, [&] {
+          profile.parks.push_back(parse_park(cursor));
+        });
+      } else if (key == "sweeps") {
+        parse_array(cursor, [&] {
+          profile.sweeps.push_back(parse_sweep(cursor));
+        });
+      } else {
+        cursor.fail("unknown top-level key '" + key + "'");
+      }
+    });
+    if (!saw_format) cursor.fail("missing format field");
+    cursor.skip_ws();
+    if (cursor.pos != text.size()) cursor.fail("trailing garbage");
+    *out = std::move(profile);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: %s\n", e.what());
+    return false;
+  }
+}
+
+std::string render_profile_report(const Profile& profile) {
+  std::string out = "profile: " + std::to_string(profile.events) +
+                    " events, " + std::to_string(profile.dropped) +
+                    " dropped, span " +
+                    format_ms(clamped_sub(profile.t_max, profile.t_min)) +
+                    " ms\n";
+
+  for (const SweepProfile& s : profile.sweeps) {
+    out += "sweep " + std::to_string(s.id) + ": " +
+           std::to_string(s.chunks) + " chunks, " +
+           std::to_string(s.items) + " items, wall " +
+           format_ms(s.micros()) + " ms\n";
+    const CriticalPath cp = critical_path(profile, s.id);
+    const double coverage =
+        cp.total_micros == 0
+            ? 1.0
+            : static_cast<double>(cp.stage_sum()) /
+                  static_cast<double>(cp.total_micros);
+    out += "  critical path (stage sum " + format_ms(cp.stage_sum()) +
+           " ms, " + format_pct(coverage) + "% of wall):\n";
+    out += "    schedule " + format_ms(cp.schedule_micros) + " | queue " +
+           format_ms(cp.queue_micros) + " | exec " +
+           format_ms(cp.exec_micros) + " | stall " +
+           format_ms(cp.stall_micros) + " | merge " +
+           format_ms(cp.merge_micros) + " | tail " +
+           format_ms(cp.tail_micros) + " ms\n";
+    if (!cp.steps.empty()) {
+      // Steps are walked last-merge-first; the binding hop is last.
+      const CriticalPathStep& binding = cp.steps.back();
+      std::uint64_t path_merges = 0;
+      for (const CriticalPathStep& step : cp.steps) {
+        if (step.kind == "merge") ++path_merges;
+      }
+      out += "    path: " + binding.kind + " chunk " +
+             std::to_string(binding.chunk) + " (" +
+             format_ms(binding.micros) + " ms) -> " +
+             std::to_string(path_merges) + " merge(s)\n";
+    }
+  }
+
+  const auto usage = thread_usage(profile);
+  const std::uint64_t span = clamped_sub(profile.t_max, profile.t_min);
+  out += "threads (" + std::to_string(usage.size()) + "):\n";
+  for (const auto& [tid, u] : usage) {
+    const double denom = span == 0 ? 1.0 : static_cast<double>(span);
+    const std::uint64_t accounted =
+        std::min(span, u.busy_micros + u.park_micros);
+    const std::uint64_t idle = span - accounted;
+    out += "  tid " + std::to_string(tid) + ": busy " +
+           format_pct(static_cast<double>(u.busy_micros) / denom) +
+           "% (" + format_ms(u.busy_micros) + " ms, " +
+           std::to_string(u.tasks) + " tasks, " + std::to_string(u.merges) +
+           " merges), parked " +
+           format_pct(static_cast<double>(u.park_micros) / denom) +
+           "%, idle " + format_pct(static_cast<double>(idle) / denom) +
+           "%\n";
+  }
+
+  LatencyHistogram queue_hist;
+  LatencyHistogram steal_hist;
+  for (const TaskProfile& t : profile.tasks) {
+    if (!t.complete()) continue;
+    queue_hist.observe(t.queue_micros());
+    if (t.stolen) {
+      steal_hist.observe(clamped_sub(t.dequeue_t, t.submit_t));
+    }
+  }
+  out += "queue latency (submit -> begin, log2 us):\n";
+  append_histogram_lines(out, queue_hist);
+  if (steal_hist.count != 0) {
+    out += "steal latency (submit -> steal, log2 us):\n";
+    append_histogram_lines(out, steal_hist);
+  }
+
+  const std::uint64_t executed = executed_task_count(profile);
+  const std::uint64_t stolen = stolen_task_count(profile);
+  out += "steals: " + std::to_string(stolen) + "/" +
+         std::to_string(executed) + " tasks";
+  if (executed != 0) {
+    out += " (" +
+           format_pct(static_cast<double>(stolen) /
+                      static_cast<double>(executed)) +
+           "%)";
+  }
+  out += "\n";
+  char herd[64];
+  std::snprintf(herd, sizeof herd, "%.2f", herd_factor(profile));
+  out += "herd: " + std::to_string(profile.parks.size()) + " wakeups / " +
+         std::to_string(executed) + " tasks executed = " + herd +
+         " wakeups per useful task\n";
+  return out;
+}
+
+std::string render_profile_top(const Profile& profile, std::size_t n) {
+  std::vector<const TaskProfile*> ranked;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.begin_t != 0 && t.end_t != 0) ranked.push_back(&t);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const TaskProfile* a, const TaskProfile* b) {
+              const std::uint64_t ea = a->exec_micros();
+              const std::uint64_t eb = b->exec_micros();
+              return ea != eb ? ea > eb : a->id < b->id;
+            });
+  if (ranked.size() > n) ranked.resize(n);
+  std::string out = "top " + std::to_string(ranked.size()) +
+                    " tasks by execution time:\n";
+  for (const TaskProfile* t : ranked) {
+    out += "  task " + std::to_string(t->id);
+    if (t->is_chunk) {
+      out += " (sweep " + std::to_string(t->sweep) + " chunk " +
+             std::to_string(t->chunk) + ")";
+    }
+    out += ": exec " + format_ms(t->exec_micros()) + " ms, queue " +
+           format_ms(t->queue_micros()) + " ms, tid " +
+           std::to_string(t->exec_tid);
+    if (t->stolen) {
+      out += ", stolen from worker " + std::to_string(t->steal_victim);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_profile_diff(const Profile& a, const Profile& b) {
+  std::string out = "profile diff (a -> b):\n";
+  const auto line = [&out](const char* name, double va, double vb,
+                           const char* unit) {
+    char buf[160];
+    if (va == 0.0) {
+      std::snprintf(buf, sizeof buf, "  %-18s %12.2f -> %12.2f %s\n", name,
+                    va, vb, unit);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "  %-18s %12.2f -> %12.2f %s (%+.1f%%)\n", name, va, vb,
+                    unit, (vb - va) / va * 100.0);
+    }
+    out += buf;
+  };
+  line("events", static_cast<double>(a.events),
+       static_cast<double>(b.events), "");
+  line("tasks executed", static_cast<double>(executed_task_count(a)),
+       static_cast<double>(executed_task_count(b)), "");
+  line("steals", static_cast<double>(stolen_task_count(a)),
+       static_cast<double>(stolen_task_count(b)), "");
+  line("wakeups", static_cast<double>(a.parks.size()),
+       static_cast<double>(b.parks.size()), "");
+  line("herd factor", herd_factor(a), herd_factor(b), "");
+  line("total exec", static_cast<double>(total_exec_micros(a)) / 1000.0,
+       static_cast<double>(total_exec_micros(b)) / 1000.0, "ms");
+  line("span", static_cast<double>(clamped_sub(a.t_max, a.t_min)) / 1000.0,
+       static_cast<double>(clamped_sub(b.t_max, b.t_min)) / 1000.0, "ms");
+  line("sweeps", static_cast<double>(a.sweeps.size()),
+       static_cast<double>(b.sweeps.size()), "");
+  return out;
+}
+
+std::string render_task_trace_events(const Profile& profile) {
+  std::string out;
+  const auto append = [&out](const std::string& event) {
+    if (!out.empty()) out += ',';
+    out += event;
+  };
+  for (const SweepProfile& s : profile.sweeps) {
+    if (s.end_t == 0) continue;
+    append("{\"name\":\"sweep " + std::to_string(s.id) +
+           "\",\"cat\":\"sweep\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.tid) + ",\"ts\":" + std::to_string(s.begin_t) +
+           ",\"dur\":" + std::to_string(s.micros()) +
+           ",\"args\":{\"chunks\":" + std::to_string(s.chunks) +
+           ",\"items\":" + std::to_string(s.items) + "}}");
+  }
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.begin_t != 0 && t.end_t != 0) {
+      std::string name = t.is_chunk
+                             ? "chunk " + std::to_string(t.sweep) + ":" +
+                                   std::to_string(t.chunk)
+                             : "task " + std::to_string(t.id);
+      append("{\"name\":\"" + name +
+             "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+             std::to_string(t.exec_tid) +
+             ",\"ts\":" + std::to_string(t.begin_t) +
+             ",\"dur\":" + std::to_string(t.exec_micros()) +
+             ",\"args\":{\"task\":" + std::to_string(t.id) + "}}");
+    }
+    // Flow arrows: submit ("s") -> optional steal step ("t") -> begin
+    // ("f"). Chrome draws one arrow chain per flow id.
+    if (t.submit_t != 0 && t.begin_t != 0) {
+      const std::string id = std::to_string(t.id);
+      append("{\"name\":\"task\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+             id + ",\"pid\":1,\"tid\":" + std::to_string(t.submit_tid) +
+             ",\"ts\":" + std::to_string(t.submit_t) + "}");
+      if (t.stolen && t.dequeue_t != 0) {
+        append("{\"name\":\"task\",\"cat\":\"flow\",\"ph\":\"t\",\"id\":" +
+               id + ",\"pid\":1,\"tid\":" + std::to_string(t.exec_tid) +
+               ",\"ts\":" + std::to_string(t.dequeue_t) + "}");
+      }
+      append("{\"name\":\"task\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\""
+             ",\"id\":" +
+             id + ",\"pid\":1,\"tid\":" + std::to_string(t.exec_tid) +
+             ",\"ts\":" + std::to_string(t.begin_t) + "}");
+    }
+  }
+  std::map<std::pair<std::uint64_t, std::uint64_t>, const TaskProfile*>
+      chunk_tasks;
+  for (const TaskProfile& t : profile.tasks) {
+    if (t.is_chunk && t.complete()) chunk_tasks[{t.sweep, t.chunk}] = &t;
+  }
+  for (const MergeProfile& m : profile.merges) {
+    if (m.end_t == 0) continue;
+    append("{\"name\":\"merge " + std::to_string(m.sweep) + ":" +
+           std::to_string(m.chunk) +
+           "\",\"cat\":\"sweep\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(m.tid) + ",\"ts\":" + std::to_string(m.begin_t) +
+           ",\"dur\":" + std::to_string(m.micros()) +
+           ",\"args\":{\"chunk\":" + std::to_string(m.chunk) + "}}");
+    // Second flow: the chunk's task end -> its merge begin, in a
+    // distinct id space so it never collides with the submit flows.
+    if (const auto it = chunk_tasks.find({m.sweep, m.chunk});
+        it != chunk_tasks.end()) {
+      const TaskProfile& t = *it->second;
+      const std::string id = std::to_string(kMergeFlowBase + t.id);
+      append("{\"name\":\"merge\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+             id + ",\"pid\":1,\"tid\":" + std::to_string(t.exec_tid) +
+             ",\"ts\":" + std::to_string(t.end_t) + "}");
+      append("{\"name\":\"merge\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":"
+             "\"e\",\"id\":" +
+             id + ",\"pid\":1,\"tid\":" + std::to_string(m.tid) +
+             ",\"ts\":" + std::to_string(std::max(m.begin_t, t.end_t)) +
+             "}");
+    }
+  }
+  return out;
+}
+
+bool write_profile(const std::string& path) {
+  const Profile profile = build_profile(drain_task_events());
+  const std::string json = render_profile_json(profile);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write profile %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  if (!out.flush().good()) {
+    std::fprintf(stderr, "obs: short write to profile %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_chrome_trace_with_tasks(const std::string& path) {
+  const Profile profile = build_profile(drain_task_events());
+  const std::string json =
+      render_chrome_trace(drain_trace(), render_task_trace_events(profile));
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write trace %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  if (!out.flush().good()) {
+    std::fprintf(stderr, "obs: short write to trace %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rdv::obs

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/task_events.hpp"
 
 namespace rdv::obs {
 
@@ -73,13 +74,15 @@ RingDirectory& directory() {
 
 /// The calling thread's ring, registered (and sized) on first use.
 /// shared_ptr keeps the ring alive for drains after the thread exits.
+/// The ring id is the shared obs thread id (task_events.hpp), so span
+/// rows and task-event flow rows line up in one Chrome timeline.
 TraceRing& thread_ring() {
   thread_local const std::shared_ptr<TraceRing> ring = [] {
     auto r = std::make_shared<TraceRing>();
     r->slots.resize(g_ring_capacity.load(std::memory_order_relaxed));
+    r->tid = thread_obs_id();
     RingDirectory& dir = directory();
     std::lock_guard lock(dir.mutex);
-    r->tid = static_cast<std::uint32_t>(dir.rings.size());
     dir.rings.push_back(r);
     return r;
   }();
@@ -195,7 +198,8 @@ void clear_trace() {
   g_dropped.store(0, std::memory_order_relaxed);
 }
 
-std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
+std::string render_chrome_trace(const std::vector<TraceEvent>& events,
+                                const std::string& extra_events) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -219,6 +223,10 @@ std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
       out += '}';
     }
     out += '}';
+  }
+  if (!extra_events.empty()) {
+    if (!first) out += ',';
+    out += extra_events;
   }
   out += "]}";
   return out;

@@ -99,8 +99,12 @@ void clear_trace();
 
 /// Renders events as a Chrome trace JSON object (traceEvents array of
 /// "X" phase events; ts/dur in micros; pid 1; tid = ring id).
+/// `extra_events` is an optional pre-rendered fragment (comma-joined
+/// event objects, no surrounding brackets) spliced into the array —
+/// the task profiler appends its flow events this way.
 [[nodiscard]] std::string render_chrome_trace(
-    const std::vector<TraceEvent>& events);
+    const std::vector<TraceEvent>& events,
+    const std::string& extra_events = {});
 
 /// drain_trace + render + write to path. Returns false when the file
 /// cannot be written (reported on stderr, never stdout).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/task_events.hpp"
 #include "obs/trace.hpp"
 
 namespace rdv::support {
@@ -62,7 +63,16 @@ std::size_t ThreadPool::self_index() const noexcept {
   return tl_pool == this ? tl_index : kExternal;
 }
 
-void ThreadPool::submit(std::function<void()> task, const void* tag) {
+std::uint64_t ThreadPool::submit(std::function<void()> task,
+                                 const void* tag) {
+  // Allocate the lifecycle id and record kSubmit BEFORE enqueueing:
+  // once the task is visible a worker may pop it immediately, and the
+  // submit timestamp must not trail the dequeue timestamp.
+  const std::uint64_t id =
+      obs::task_events_enabled() ? obs::next_task_id() : 0;
+  if (id != 0) {
+    obs::record_task_event(obs::TaskEventKind::kSubmit, id);
+  }
   const std::size_t depth =
       in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
   PoolMetrics& metrics = pool_metrics();
@@ -72,12 +82,13 @@ void ThreadPool::submit(std::function<void()> task, const void* tag) {
   if (self != kExternal) {
     WorkerQueue& q = *queues_[self];
     std::lock_guard lock(q.mutex);
-    q.tasks.push_back(Task{std::move(task), tag});
+    q.tasks.push_back(Task{std::move(task), tag, id});
   } else {
     std::lock_guard lock(shared_mutex_);
-    shared_.push_back(Task{std::move(task), tag});
+    shared_.push_back(Task{std::move(task), tag, id});
   }
   bump_epoch();
+  return id;
 }
 
 void ThreadPool::bump_epoch() {
@@ -92,16 +103,29 @@ std::uint64_t ThreadPool::epoch() const {
 }
 
 bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
+  // Lifecycle events are recorded AFTER the queue lock is released —
+  // the ring mutex is uncontended, but holding two locks for a
+  // profiling write would still lengthen the critical section.
+  //
   // Own deque, newest first, any tag: entries here were submitted by
   // the task this worker is currently running (its descendants), so a
   // nested sweep's just-submitted chunks are still cache-hot and LIFO
   // keeps the nesting stack shallow.
   if (self != kExternal) {
-    WorkerQueue& q = *queues_[self];
-    std::lock_guard lock(q.mutex);
-    if (!q.tasks.empty()) {
-      task = std::move(q.tasks.back());
-      q.tasks.pop_back();
+    bool popped = false;
+    {
+      WorkerQueue& q = *queues_[self];
+      std::lock_guard lock(q.mutex);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        popped = true;
+      }
+    }
+    if (popped) {
+      if (task.id != 0) {
+        obs::record_task_event(obs::TaskEventKind::kDequeue, task.id);
+      }
       return true;
     }
   }
@@ -109,13 +133,23 @@ bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
     return tag == nullptr || t.tag == tag;
   };
   {
-    std::lock_guard lock(shared_mutex_);
-    for (auto it = shared_.begin(); it != shared_.end(); ++it) {
-      if (matches(*it)) {
-        task = std::move(*it);
-        shared_.erase(it);
-        return true;
+    bool popped = false;
+    {
+      std::lock_guard lock(shared_mutex_);
+      for (auto it = shared_.begin(); it != shared_.end(); ++it) {
+        if (matches(*it)) {
+          task = std::move(*it);
+          shared_.erase(it);
+          popped = true;
+          break;
+        }
       }
+    }
+    if (popped) {
+      if (task.id != 0) {
+        obs::record_task_event(obs::TaskEventKind::kDequeue, task.id);
+      }
+      return true;
     }
   }
   // Steal oldest-first from the other workers, round-robin from the
@@ -125,23 +159,40 @@ bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
   for (std::size_t offset = 0; offset < n; ++offset) {
     const std::size_t victim = (start + offset) % n;
     if (victim == self) continue;
-    WorkerQueue& q = *queues_[victim];
-    std::lock_guard lock(q.mutex);
-    for (auto it = q.tasks.begin(); it != q.tasks.end(); ++it) {
-      if (matches(*it)) {
-        task = std::move(*it);
-        q.tasks.erase(it);
-        steals_.fetch_add(1, std::memory_order_relaxed);
-        pool_metrics().steals.add();
-        return true;
+    bool popped = false;
+    {
+      WorkerQueue& q = *queues_[victim];
+      std::lock_guard lock(q.mutex);
+      for (auto it = q.tasks.begin(); it != q.tasks.end(); ++it) {
+        if (matches(*it)) {
+          task = std::move(*it);
+          q.tasks.erase(it);
+          popped = true;
+          break;
+        }
       }
+    }
+    if (popped) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().steals.add();
+      if (task.id != 0) {
+        obs::record_task_event(obs::TaskEventKind::kSteal, task.id,
+                               victim);
+      }
+      return true;
     }
   }
   return false;
 }
 
 void ThreadPool::run_task(Task& task) {
+  if (task.id != 0) {
+    obs::record_task_event(obs::TaskEventKind::kBegin, task.id);
+  }
   task.fn();
+  if (task.id != 0) {
+    obs::record_task_event(obs::TaskEventKind::kEnd, task.id);
+  }
   task.fn = nullptr;  // release captures before announcing completion
   const std::size_t depth =
       in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
@@ -164,6 +215,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
     const bool traced = obs::trace_enabled();
     const std::uint64_t park_start = traced ? obs::now_micros() : 0;
+    obs::record_task_event(obs::TaskEventKind::kPark);
     {
       std::unique_lock lock(sleep_mutex_);
       if (stopping_) return;  // every queue drained
@@ -175,6 +227,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       wakeups_.fetch_add(1, std::memory_order_relaxed);
       pool_metrics().wakeups.add();
     }
+    obs::record_task_event(obs::TaskEventKind::kUnpark);
     if (traced) {
       obs::record_span("park", "pool", park_start,
                        obs::now_micros() - park_start);
@@ -207,6 +260,7 @@ void ThreadPool::assist_until(const std::function<bool()>& done,
     if (done()) return;
     const bool traced = obs::trace_enabled();
     const std::uint64_t park_start = traced ? obs::now_micros() : 0;
+    obs::record_task_event(obs::TaskEventKind::kPark);
     {
       std::unique_lock lock(sleep_mutex_);
       ++sleepers_;
@@ -217,6 +271,7 @@ void ThreadPool::assist_until(const std::function<bool()>& done,
       wakeups_.fetch_add(1, std::memory_order_relaxed);
       pool_metrics().wakeups.add();
     }
+    obs::record_task_event(obs::TaskEventKind::kUnpark);
     if (traced) {
       obs::record_span("park.wait", "pool", park_start,
                        obs::now_micros() - park_start);
@@ -230,9 +285,9 @@ void ThreadPool::wait_idle() {
   });
 }
 
-void TaskGroup::submit(std::function<void()> task) {
+std::uint64_t TaskGroup::submit(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.submit(
+  return pool_.submit(
       [this, task = std::move(task)] {
         task();
         // The pool bumps its wake epoch right after this wrapper

@@ -53,7 +53,13 @@ class ThreadPool {
   /// deque; otherwise on the shared queue. `tag` (never dereferenced)
   /// marks which batch the task belongs to, so an assisting waiter can
   /// restrict itself to the work it actually waits on.
-  void submit(std::function<void()> task, const void* tag = nullptr);
+  ///
+  /// Returns the task's lifecycle id when the task-event profiler
+  /// (obs::task_events_enabled) is on — callers may label the task
+  /// (e.g. sweep_map tags chunk tasks with their chunk index) — and 0
+  /// when profiling is off.
+  std::uint64_t submit(std::function<void()> task,
+                       const void* tag = nullptr);
 
   /// Block until every submitted task has finished (work-assisting
   /// when called from a pool worker; runs tasks of ANY tag — it waits
@@ -104,6 +110,9 @@ class ThreadPool {
     std::function<void()> fn;
     /// Batch identity for tag-restricted assists; never dereferenced.
     const void* tag = nullptr;
+    /// Lifecycle id for the task-event profiler; 0 when profiling was
+    /// off at submit time (such tasks record no events at all).
+    std::uint64_t id = 0;
   };
 
   /// One worker's deque. Owner pushes/pops at the back, thieves (other
@@ -169,8 +178,10 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Enqueue a task on the pool, counted against this group.
-  void submit(std::function<void()> task);
+  /// Enqueue a task on the pool, counted against this group. Returns
+  /// the pool task's lifecycle id (0 when profiling is off), same as
+  /// ThreadPool::submit.
+  std::uint64_t submit(std::function<void()> task);
 
   /// Block until every task submitted through THIS group has finished,
   /// executing pool tasks on the calling thread meanwhile.

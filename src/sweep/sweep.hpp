@@ -12,6 +12,7 @@
 #include "analysis/stics.hpp"
 #include "cache/artifact_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/task_events.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
@@ -113,6 +114,16 @@ std::vector<R> sweep_map(std::size_t n,
       n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
   obs::Span sweep_span("sweep", "map");
   sweep_span.arg("items", n);
+  // Profiler markers (ISSUE 9): the sweep id joins this sweep's chunk
+  // tasks and merges into one DAG the analyzer can walk. All profiling
+  // is sidecar-only — ids are allocated only when enabled, so the off
+  // path costs one relaxed load.
+  const bool profiled = obs::task_events_enabled();
+  const std::uint64_t sweep_id = profiled ? obs::next_sweep_id() : 0;
+  if (profiled) {
+    obs::record_task_event(obs::TaskEventKind::kSweepBegin, 0, sweep_id,
+                           chunks);
+  }
 
   SweepStats local;
   local.items_total = n;
@@ -146,23 +157,30 @@ std::vector<R> sweep_map(std::size_t n,
     const std::size_t hi = std::min(n, lo + chunk_size);
     std::vector<R>* out = &chunk_out[c];
     std::atomic<bool>* done = &chunk_done[c];
-    group.submit([lo, hi, out, done, &fn, &stop_flag] {
-      obs::Span chunk_span("sweep", "chunk");
-      chunk_span.arg("items", hi - lo);
-      detail::SweepMetrics& metrics = detail::sweep_metrics();
-      metrics.chunks.add();
-      out->reserve(hi - lo);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (stop_flag.load(std::memory_order_relaxed)) {
-          std::vector<R>().swap(*out);
-          metrics.chunk_skips.add();
-          break;
-        }
-        out->push_back(fn(i));
-      }
-      metrics.items.add(out->size());
-      done->store(true, std::memory_order_release);
-    });
+    const std::uint64_t task_id =
+        group.submit([lo, hi, out, done, &fn, &stop_flag] {
+          obs::Span chunk_span("sweep", "chunk");
+          chunk_span.arg("items", hi - lo);
+          detail::SweepMetrics& metrics = detail::sweep_metrics();
+          metrics.chunks.add();
+          out->reserve(hi - lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (stop_flag.load(std::memory_order_relaxed)) {
+              std::vector<R>().swap(*out);
+              metrics.chunk_skips.add();
+              break;
+            }
+            out->push_back(fn(i));
+          }
+          metrics.items.add(out->size());
+          done->store(true, std::memory_order_release);
+        });
+    // Labels the pool task as chunk `c` of this sweep — the join key
+    // between the pool lifecycle events and the sweep DAG.
+    if (task_id != 0) {
+      obs::record_task_event(obs::TaskEventKind::kChunkTask, task_id,
+                             sweep_id, c);
+    }
     ++local.chunks_scheduled;
   };
   std::size_t next_chunk = 0;
@@ -184,6 +202,14 @@ std::vector<R> sweep_map(std::size_t n,
     if (!stopped) {
       obs::Span merge_span("sweep", "merge");
       merge_span.arg("chunk", front);
+      // Note for the analyzer: the chunk task publishes chunk_done
+      // BEFORE the pool records its kEnd, so this kMergeBegin may
+      // carry a timestamp slightly before the chunk's kEnd — the
+      // critical-path walk clamps such subtractions.
+      if (profiled) {
+        obs::record_task_event(obs::TaskEventKind::kMergeBegin, 0,
+                               sweep_id, front);
+      }
       for (R& r : chunk_out[front]) {
         merged.push_back(std::move(r));
         if (stop_when && stop_when(merged.back())) {
@@ -194,6 +220,10 @@ std::vector<R> sweep_map(std::size_t n,
           detail::sweep_metrics().early_exits.add();
           break;
         }
+      }
+      if (profiled) {
+        obs::record_task_event(obs::TaskEventKind::kMergeEnd, 0,
+                               sweep_id, front);
       }
     }
     // Swap-with-empty, not clear(): merged chunks would otherwise keep
@@ -210,6 +240,10 @@ std::vector<R> sweep_map(std::size_t n,
   }
   group.wait();  // defensive: every scheduled chunk is already done
   local.items_produced = merged.size();
+  if (profiled) {
+    obs::record_task_event(obs::TaskEventKind::kSweepEnd, 0, sweep_id,
+                           merged.size());
+  }
   if (stats != nullptr) *stats = local;
   return merged;
 }

@@ -2,11 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,7 +19,11 @@
 #include "exp/driver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_tools.hpp"
+#include "obs/profile.hpp"
+#include "obs/task_events.hpp"
 #include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+#include "sweep/sweep.hpp"
 
 namespace rdv::obs {
 namespace {
@@ -205,6 +212,520 @@ TEST(Trace, ChromeRenderEscapesAndShapes) {
   EXPECT_NE(json.find("\"args\":{\"items\":42}"), std::string::npos);
 }
 
+// ---- task-lifecycle events -------------------------------------------
+
+TEST(TaskEvents, DisabledRecordsNothingAndAllocatorsStayMonotone) {
+  set_task_events_enabled(false);
+  clear_task_events();
+  record_task_event(TaskEventKind::kSubmit, 424242);
+  for (const TaskEvent& e : drain_task_events()) {
+    EXPECT_NE(e.task, 424242u);
+  }
+  EXPECT_EQ(task_events_recorded_count(), 0u);
+  const std::uint64_t a = next_task_id();
+  const std::uint64_t b = next_task_id();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_GT(next_sweep_id(), 0u);
+}
+
+TEST(TaskEvents, KindNamesAreStable) {
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kSubmit), "submit");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kDequeue), "dequeue");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kSteal), "steal");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kBegin), "begin");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kEnd), "end");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kPark), "park");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kUnpark), "unpark");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kSweepBegin),
+               "sweep_begin");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kSweepEnd), "sweep_end");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kChunkTask),
+               "chunk_task");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kMergeBegin),
+               "merge_begin");
+  EXPECT_STREQ(task_event_kind_name(TaskEventKind::kMergeEnd), "merge_end");
+}
+
+TEST(TaskEvents, TinyRingOverflowCountsDropsAndKeepsNewest) {
+  clear_task_events();
+  set_task_event_ring_capacity(4);
+  set_task_events_enabled(true);
+  // A fresh thread gets a fresh capacity-4 ring; ten events must never
+  // block, keep exactly the newest four, and count the six overwrites.
+  std::thread([] {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      record_task_event(TaskEventKind::kBegin, 9000 + i);
+    }
+  }).join();
+  set_task_events_enabled(false);
+  set_task_event_ring_capacity(65536);
+  std::vector<std::uint64_t> mine;
+  for (const TaskEvent& e : drain_task_events()) {
+    if (e.task >= 9000 && e.task < 9010) mine.push_back(e.task);
+  }
+  ASSERT_EQ(mine.size(), 4u);
+  EXPECT_EQ(mine.front(), 9006u);
+  EXPECT_EQ(mine.back(), 9009u);
+  EXPECT_EQ(task_events_dropped_count(), 6u);
+  EXPECT_EQ(task_events_recorded_count(), 10u);
+  clear_task_events();
+  EXPECT_EQ(task_events_dropped_count(), 0u);
+  EXPECT_EQ(task_events_recorded_count(), 0u);
+}
+
+TEST(TaskEvents, DrainIsDeterministicAndPreservesPerThreadOrder) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  // The recording thread exits before the drain: its ring must survive
+  // in the directory with every event intact.
+  std::thread([] {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      record_task_event(TaskEventKind::kSubmit, 7000 + i);
+    }
+  }).join();
+  set_task_events_enabled(false);
+  const std::vector<TaskEvent> first = drain_task_events();
+  const std::vector<TaskEvent> second = drain_task_events();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].task, second[i].task);
+    EXPECT_EQ(first[i].tid, second[i].tid);
+    EXPECT_EQ(first[i].seq, second[i].seq);
+  }
+  std::vector<std::uint64_t> mine;
+  std::vector<std::uint32_t> tids;
+  for (const TaskEvent& e : first) {
+    if (e.task < 7000 || e.task >= 7050) continue;
+    mine.push_back(e.task);
+    tids.push_back(e.tid);
+  }
+  // (t, tid, seq) ordering keeps one thread's events in record order.
+  ASSERT_EQ(mine.size(), 50u);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i], 7000 + i);
+    EXPECT_EQ(tids[i], tids[0]);
+  }
+  clear_task_events();
+}
+
+TEST(TaskEvents, ShortLivedThreadsKeepDistinctTids) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    std::thread([t] {
+      record_task_event(TaskEventKind::kEnd, 7700 + t);
+    }).join();
+  }
+  set_task_events_enabled(false);
+  std::vector<std::uint32_t> tids;
+  for (const TaskEvent& e : drain_task_events()) {
+    if (e.task >= 7700 && e.task < 7703) tids.push_back(e.tid);
+  }
+  ASSERT_EQ(tids.size(), 3u);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+  clear_task_events();
+}
+
+TEST(TaskEvents, DrainWhileRecordingIsSafe) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      record_task_event(TaskEventKind::kBegin, 8000 + (i++ % 16));
+    }
+  });
+  // Keep draining until the writer's events show up (it may still be
+  // starting); every drained event must be well-formed mid-recording.
+  std::size_t seen = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (seen == 0 && std::chrono::steady_clock::now() < deadline) {
+    for (const TaskEvent& e : drain_task_events()) {
+      if (e.task < 8000 || e.task >= 8016) continue;
+      ++seen;
+      EXPECT_LE(static_cast<unsigned>(e.kind),
+                static_cast<unsigned>(TaskEventKind::kMergeEnd));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  set_task_events_enabled(false);
+  EXPECT_GT(seen, 0u);
+  clear_task_events();
+}
+
+// ---- pool + sweep lifecycles -----------------------------------------
+
+TEST(TaskEvents, PoolLifecyclesPairSubmitPopBeginEnd) {
+  set_task_events_enabled(false);
+  {
+    // Profiling off: no lifecycle id, the task still runs.
+    support::ThreadPool off_pool(1);
+    std::atomic<int> ran{0};
+    EXPECT_EQ(off_pool.submit([&ran] { ran.fetch_add(1); }), 0u);
+    off_pool.wait_idle();
+    EXPECT_EQ(ran.load(), 1);
+  }
+  clear_task_events();
+  set_task_events_enabled(true);
+  std::vector<std::uint64_t> ids;
+  {
+    support::ThreadPool pool(2);
+    support::TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      const std::uint64_t id =
+          group.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      EXPECT_NE(id, 0u);
+      ids.push_back(id);
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 16);
+  }
+  set_task_events_enabled(false);
+  const std::vector<TaskEvent> events = drain_task_events();
+  clear_task_events();
+  // Ids are distinct and monotone in submission order.
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+  for (const std::uint64_t id : ids) {
+    std::size_t submits = 0, pops = 0, begins = 0, ends = 0;
+    for (const TaskEvent& e : events) {
+      if (e.task != id) continue;
+      switch (e.kind) {
+        case TaskEventKind::kSubmit: ++submits; break;
+        case TaskEventKind::kDequeue:
+        case TaskEventKind::kSteal: ++pops; break;
+        case TaskEventKind::kBegin: ++begins; break;
+        case TaskEventKind::kEnd: ++ends; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(submits, 1u);
+    EXPECT_EQ(pops, 1u);
+    EXPECT_EQ(begins, 1u);
+    EXPECT_EQ(ends, 1u);
+  }
+  const Profile profile = build_profile(events);
+  std::size_t found = 0;
+  for (const TaskProfile& t : profile.tasks) {
+    if (std::find(ids.begin(), ids.end(), t.id) == ids.end()) continue;
+    ++found;
+    EXPECT_TRUE(t.complete());
+    EXPECT_NE(t.dequeue_t, 0u);
+    // kSubmit lands before the enqueue, so it never trails the pop or
+    // the begin on the shared clock.
+    EXPECT_LE(t.submit_t, t.dequeue_t);
+    EXPECT_LE(t.submit_t, t.begin_t);
+    EXPECT_LE(t.begin_t, t.end_t);
+  }
+  EXPECT_EQ(found, ids.size());
+}
+
+TEST(TaskEvents, ParkIntervalsCloseAndHerdFactorIsFinite) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  {
+    support::ThreadPool pool(2);
+    support::TaskGroup group(pool);
+    // One deliberately slow task: the external waiter reaches the cv
+    // and parks while it runs, so at least one park interval closes.
+    group.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    });
+    group.wait();
+  }
+  set_task_events_enabled(false);
+  const Profile profile = build_profile(drain_task_events());
+  clear_task_events();
+  EXPECT_GE(profile.parks.size(), 1u);
+  for (const ParkInterval& p : profile.parks) {
+    EXPECT_LE(p.begin_t, p.end_t);
+  }
+  const double herd = herd_factor(profile);
+  EXPECT_GE(herd, 0.0);
+  EXPECT_TRUE(std::isfinite(herd));
+}
+
+// ---- profile analyzer ------------------------------------------------
+
+std::function<int(std::size_t)> busy_kernel() {
+  return [](std::size_t i) {
+    std::uint64_t x = i + 1;
+    for (int k = 0; k < 50000; ++k) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    return static_cast<int>((x >> 32) & 0x3fffffff);
+  };
+}
+
+TEST(Profile, SweepReconstructionAndCriticalPathBudget) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  std::vector<int> out;
+  {
+    support::ThreadPool pool(1);
+    sweep::SweepConfig config;
+    config.pool = &pool;
+    config.chunk_size = 8;
+    out = sweep::sweep_map<int>(64, busy_kernel(), config);
+  }
+  set_task_events_enabled(false);
+  const Profile profile = build_profile(drain_task_events());
+  clear_task_events();
+
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(profile.dropped, 0u);
+  ASSERT_EQ(profile.sweeps.size(), 1u);
+  const SweepProfile& sweep = profile.sweeps[0];
+  EXPECT_EQ(sweep.chunks, 8u);
+  EXPECT_EQ(sweep.items, 64u);
+  ASSERT_GT(sweep.micros(), 0u);
+
+  std::vector<std::uint64_t> chunks;
+  for (const TaskProfile& t : profile.tasks) {
+    if (!t.is_chunk) continue;
+    EXPECT_EQ(t.sweep, sweep.id);
+    EXPECT_TRUE(t.complete());
+    chunks.push_back(t.chunk);
+  }
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 8u);
+  for (std::uint64_t c = 0; c < 8; ++c) EXPECT_EQ(chunks[c], c);
+  ASSERT_EQ(profile.merges.size(), 8u);
+  for (std::uint64_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(profile.merges[c].sweep, sweep.id);
+    EXPECT_EQ(profile.merges[c].chunk, c);
+    EXPECT_NE(profile.merges[c].end_t, 0u);
+  }
+
+  const CriticalPath cp = critical_path(profile, sweep.id);
+  EXPECT_EQ(cp.total_micros, sweep.micros());
+  ASSERT_FALSE(cp.steps.empty());
+  EXPECT_EQ(cp.steps.front().kind, "merge");
+  EXPECT_EQ(cp.steps.back().kind, "task");
+  // The stages partition the sweep wall; the telescoped sum deviates
+  // only by clamped inversions (a merge can begin a hair before its
+  // chunk's kEnd lands), far inside the 5% budget rdv_profile's strict
+  // mode enforces.
+  const double total = static_cast<double>(cp.total_micros);
+  const double sum = static_cast<double>(cp.stage_sum());
+  EXPECT_LE(std::abs(sum - total) / total, 0.05);
+  EXPECT_GE(herd_factor(profile), 0.0);
+}
+
+/// Structural fingerprint of a profiled 1-thread sweep: ids normalized
+/// to the first submitted task, everything timing-free.
+struct SweepShape {
+  std::vector<std::uint64_t> task_norm_ids;
+  std::vector<std::uint64_t> task_chunks;
+  std::vector<std::uint64_t> merge_chunks;
+  std::uint64_t chunks = 0;
+  std::uint64_t items = 0;
+  std::size_t exec_tids = 0;
+  std::size_t stolen = 0;
+};
+
+SweepShape one_thread_sweep_shape(std::vector<int>& out) {
+  clear_task_events();
+  set_task_events_enabled(true);
+  {
+    support::ThreadPool pool(1);
+    sweep::SweepConfig config;
+    config.pool = &pool;
+    config.chunk_size = 8;
+    const std::function<int(std::size_t)> fn = [](std::size_t i) {
+      return static_cast<int>(i * 3 + 1);
+    };
+    out = sweep::sweep_map<int>(48, fn, config);
+  }
+  set_task_events_enabled(false);
+  const Profile profile = build_profile(drain_task_events());
+  clear_task_events();
+  SweepShape shape;
+  std::uint64_t min_id = 0;
+  for (const TaskProfile& t : profile.tasks) {
+    if (!t.is_chunk) continue;
+    if (min_id == 0 || t.id < min_id) min_id = t.id;
+  }
+  std::vector<std::uint32_t> tids;
+  for (const TaskProfile& t : profile.tasks) {
+    if (!t.is_chunk) continue;
+    shape.task_norm_ids.push_back(t.id - min_id);
+    shape.task_chunks.push_back(t.chunk);
+    if (t.stolen) ++shape.stolen;
+    tids.push_back(t.exec_tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  shape.exec_tids = static_cast<std::size_t>(
+      std::unique(tids.begin(), tids.end()) - tids.begin());
+  for (const MergeProfile& m : profile.merges) {
+    shape.merge_chunks.push_back(m.chunk);
+  }
+  if (!profile.sweeps.empty()) {
+    shape.chunks = profile.sweeps[0].chunks;
+    shape.items = profile.sweeps[0].items;
+  }
+  return shape;
+}
+
+TEST(Profile, OneThreadRunsAreStructurallyDeterministic) {
+  std::vector<int> out1;
+  std::vector<int> out2;
+  const SweepShape a = one_thread_sweep_shape(out1);
+  const SweepShape b = one_thread_sweep_shape(out2);
+  EXPECT_EQ(out1, out2);
+  EXPECT_EQ(a.task_norm_ids, b.task_norm_ids);
+  EXPECT_EQ(a.task_chunks, b.task_chunks);
+  EXPECT_EQ(a.merge_chunks, b.merge_chunks);
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.items, b.items);
+  // A 1-thread pool executes every chunk on its one worker — no steals,
+  // one executor tid, in both runs.
+  EXPECT_EQ(a.exec_tids, 1u);
+  EXPECT_EQ(b.exec_tids, 1u);
+  EXPECT_EQ(a.stolen + b.stolen, 0u);
+}
+
+/// Hand-built profile with round-number timestamps, so every stage of
+/// the critical path is checkable exactly: sweep [1000, 2000], chunk 0
+/// [submit 1010, begin 1020, end 1500], chunk 1 [1012, 1030, 1400],
+/// merges [1510,1530] and [1530,1540].
+Profile sample_profile() {
+  Profile profile;
+  profile.events = 42;
+  profile.dropped = 0;
+  profile.t_min = 1000;
+  profile.t_max = 2000;
+  SweepProfile sweep;
+  sweep.id = 5;
+  sweep.chunks = 2;
+  sweep.items = 2;
+  sweep.tid = 0;
+  sweep.begin_t = 1000;
+  sweep.end_t = 2000;
+  profile.sweeps.push_back(sweep);
+  TaskProfile t0;
+  t0.id = 11;
+  t0.sweep = 5;
+  t0.chunk = 0;
+  t0.is_chunk = true;
+  t0.submit_tid = 0;
+  t0.exec_tid = 1;
+  t0.submit_t = 1010;
+  t0.dequeue_t = 1015;
+  t0.begin_t = 1020;
+  t0.end_t = 1500;
+  TaskProfile t1 = t0;
+  t1.id = 12;
+  t1.chunk = 1;
+  t1.submit_t = 1012;
+  t1.dequeue_t = 1016;
+  t1.begin_t = 1030;
+  t1.end_t = 1400;
+  profile.tasks = {t0, t1};
+  MergeProfile m0;
+  m0.sweep = 5;
+  m0.chunk = 0;
+  m0.tid = 0;
+  m0.begin_t = 1510;
+  m0.end_t = 1530;
+  MergeProfile m1 = m0;
+  m1.chunk = 1;
+  m1.begin_t = 1530;
+  m1.end_t = 1540;
+  profile.merges = {m0, m1};
+  profile.parks.push_back(ParkInterval{0, 1100, 1200});
+  return profile;
+}
+
+TEST(Profile, CriticalPathStagesTelescopeExactly) {
+  const Profile profile = sample_profile();
+  const CriticalPath cp = critical_path(profile, 5);
+  EXPECT_EQ(cp.total_micros, 1000u);
+  EXPECT_EQ(cp.tail_micros, 460u);    // 2000 - last merge end 1540
+  EXPECT_EQ(cp.merge_micros, 30u);    // both merges are on the path
+  EXPECT_EQ(cp.stall_micros, 10u);    // merge 0 began 10us after task 0
+  EXPECT_EQ(cp.exec_micros, 480u);    // binding chunk 0: 1020 -> 1500
+  EXPECT_EQ(cp.queue_micros, 10u);    // 1010 -> 1020
+  EXPECT_EQ(cp.schedule_micros, 10u); // sweep begin 1000 -> submit 1010
+  EXPECT_EQ(cp.stage_sum(), cp.total_micros);
+  ASSERT_EQ(cp.steps.size(), 3u);
+  EXPECT_EQ(cp.steps[0].kind, "merge");
+  EXPECT_EQ(cp.steps[0].chunk, 1u);
+  EXPECT_EQ(cp.steps[1].kind, "merge");
+  EXPECT_EQ(cp.steps[1].chunk, 0u);
+  EXPECT_EQ(cp.steps[2].kind, "task");
+  EXPECT_EQ(cp.steps[2].chunk, 0u);
+
+  const CriticalPath unknown = critical_path(profile, 999);
+  EXPECT_EQ(unknown.total_micros, 0u);
+  EXPECT_TRUE(unknown.steps.empty());
+}
+
+TEST(Profile, JsonRoundTripIsByteStable) {
+  const Profile profile = sample_profile();
+  const std::string json = render_profile_json(profile);
+  Profile parsed;
+  ASSERT_TRUE(parse_profile_json(json, &parsed));
+  EXPECT_EQ(render_profile_json(parsed), json);
+  EXPECT_EQ(parsed.events, 42u);
+  EXPECT_EQ(parsed.t_max, 2000u);
+  ASSERT_EQ(parsed.tasks.size(), 2u);
+  EXPECT_TRUE(parsed.tasks[0].is_chunk);
+  EXPECT_EQ(parsed.tasks[1].chunk, 1u);
+  EXPECT_EQ(parsed.merges.size(), 2u);
+  EXPECT_EQ(parsed.parks.size(), 1u);
+  ASSERT_EQ(parsed.sweeps.size(), 1u);
+  EXPECT_EQ(parsed.sweeps[0].items, 2u);
+}
+
+TEST(Profile, JsonParserIsStrict) {
+  Profile out;
+  EXPECT_FALSE(parse_profile_json("", &out));
+  EXPECT_FALSE(parse_profile_json("{}", &out));
+  EXPECT_FALSE(parse_profile_json("not json", &out));
+  const std::string good = render_profile_json(sample_profile());
+  EXPECT_FALSE(parse_profile_json(good.substr(0, good.size() - 2), &out));
+  EXPECT_FALSE(parse_profile_json(good + "x", &out));
+  std::string bad_format = good;
+  const std::size_t at = bad_format.find("\"format\":1");
+  ASSERT_NE(at, std::string::npos);
+  bad_format.replace(at, 10, "\"format\":9");
+  EXPECT_FALSE(parse_profile_json(bad_format, &out));
+}
+
+TEST(Profile, ReportTopDiffAndTraceRendersCarryTheHeadlines) {
+  const Profile profile = sample_profile();
+  const std::string report = render_profile_report(profile);
+  EXPECT_NE(report.find("critical path (stage sum"), std::string::npos);
+  EXPECT_NE(report.find("queue latency (submit -> begin, log2 us):"),
+            std::string::npos);
+  EXPECT_NE(report.find("steals: 0/"), std::string::npos);
+  EXPECT_NE(report.find("herd:"), std::string::npos);
+
+  // Top is ranked by execution time: n=1 keeps chunk 0 (480us), cuts
+  // chunk 1 (370us).
+  const std::string top = render_profile_top(profile, 1);
+  EXPECT_NE(top.find("task 11"), std::string::npos);
+  EXPECT_EQ(top.find("task 12"), std::string::npos);
+
+  const std::string diff = render_profile_diff(profile, profile);
+  EXPECT_NE(diff.find("tasks executed"), std::string::npos);
+
+  const std::string fragment = render_task_trace_events(profile);
+  EXPECT_NE(fragment.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(fragment.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(fragment.find("\"ph\":\"f\""), std::string::npos);
+  // The fragment splices into a well-formed Chrome trace.
+  const std::string trace = render_chrome_trace({}, fragment);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find(fragment), std::string::npos);
+}
+
 // ---- snapshot JSON + the gate ----------------------------------------
 
 MetricsSnapshot sample_snapshot() {
@@ -277,6 +798,88 @@ TEST(Diff, MissingSeriesIsReportedNotFailed) {
     if (line.find("MISSING") != std::string::npos) missing = true;
   }
   EXPECT_TRUE(missing);
+}
+
+/// History snapshot carrying just the gated series, with mean sum/count.
+MetricsSnapshot snapshot_with_wall(std::uint64_t count, std::uint64_t sum) {
+  MetricsSnapshot snap;
+  HistogramSnapshot hist;
+  hist.count = count;
+  hist.sum = sum;
+  hist.buckets[8] = count;
+  snap.histograms["exp.t1.wall_micros"] = hist;
+  return snap;
+}
+
+TEST(Diff, HistoryTightensTheBandForStableSeries) {
+  const MetricsSnapshot base = sample_snapshot();      // mean 150us
+  MetricsSnapshot current = sample_snapshot();
+  current.histograms["exp.t1.wall_micros"].sum = 224;  // mean 112us
+
+  // No history: the flat band vs the (slow) baseline passes 112 easily.
+  EXPECT_EQ(diff_snapshots_with_history(base, current, {}).regressions, 0u);
+
+  // Five stable runs at mean 100: the variance band collapses to
+  // mu + mu*min_band_frac = 105, and the same 112 is a regression the
+  // flat band would wave through.
+  const std::vector<MetricsSnapshot> stable(5, snapshot_with_wall(2, 200));
+  const DiffReport tight =
+      diff_snapshots_with_history(base, current, stable);
+  EXPECT_EQ(tight.regressions, 1u);
+  bool noted = false;
+  for (const std::string& line : tight.lines) {
+    if (line.find("history n=5") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+
+  // A noisy history widens its own band: means 80..120 give sigma
+  // ~12.6us, so the 3-sigma band (~138us) absorbs the same 112.
+  const std::vector<MetricsSnapshot> noisy = {
+      snapshot_with_wall(2, 160), snapshot_with_wall(2, 200),
+      snapshot_with_wall(2, 240), snapshot_with_wall(2, 200),
+      snapshot_with_wall(2, 200)};
+  EXPECT_EQ(diff_snapshots_with_history(base, current, noisy).regressions,
+            0u);
+}
+
+TEST(Diff, ThinHistoryFallsBackToTheFlatBand) {
+  const MetricsSnapshot base = sample_snapshot();
+  MetricsSnapshot current = sample_snapshot();
+  current.histograms["exp.t1.wall_micros"].sum = 224;
+  // Two runs are below the default min_history_runs of three: the gate
+  // must fall back to the flat band (and say so) instead of trusting a
+  // two-point distribution.
+  const std::vector<MetricsSnapshot> thin(2, snapshot_with_wall(2, 200));
+  const DiffReport report =
+      diff_snapshots_with_history(base, current, thin);
+  EXPECT_EQ(report.regressions, 0u);
+  bool noted = false;
+  for (const std::string& line : report.lines) {
+    if (line.find("thin history n=2") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Diff, LoadSnapshotDirSkipsCorruptEntriesAndMissingDirs) {
+  char dir_template[] = "/tmp/rdv_obs_hist_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  const std::string good = render_metrics_json(sample_snapshot());
+  std::ofstream(dir + "/a.json") << good;
+  std::ofstream(dir + "/b.json") << good;
+  std::ofstream(dir + "/c.json") << "not a snapshot";
+  std::ofstream(dir + "/ignored.txt") << good;
+  const std::vector<MetricsSnapshot> history = load_snapshot_dir(dir);
+  EXPECT_EQ(history.size(), 2u);  // c.json skipped, .txt never considered
+  for (const MetricsSnapshot& snap : history) {
+    EXPECT_EQ(snap.counters.at("alpha.hits"), 3u);
+  }
+  EXPECT_TRUE(load_snapshot_dir(dir + "/no/such/dir").empty());
+  ::unlink((dir + "/a.json").c_str());
+  ::unlink((dir + "/b.json").c_str());
+  ::unlink((dir + "/c.json").c_str());
+  ::unlink((dir + "/ignored.txt").c_str());
+  ::rmdir(dir.c_str());
 }
 
 TEST(Assertions, ResolveCountersGaugesAndHistogramProjections) {
@@ -376,6 +979,60 @@ TEST(EndToEnd, PrimaryStdoutIsByteIdenticalWithSidecarsOn) {
   ::unlink(metrics_path.c_str());
   ::unlink(trace_path.c_str());
   clear_trace();
+}
+
+TEST(EndToEnd, ProfileSidecarKeepsStdoutByteIdenticalAndStitchesFlows) {
+  const std::string profile_path = "/tmp/rdv_obs_test_profile.json";
+  const std::string trace_path = "/tmp/rdv_obs_test_profile_trace.json";
+  const std::string profile_flag = "--profile-out=" + profile_path;
+  const std::string trace_flag = "--trace-out=" + trace_path;
+
+  int plain_rc = -1;
+  const std::string plain = run_capturing_stdout(
+      {"rdv_bench", "t1_shrink_families", "--smoke"}, plain_rc);
+  int profiled_rc = -1;
+  const std::string profiled = run_capturing_stdout(
+      {"rdv_bench", "t1_shrink_families", "--smoke", profile_flag.c_str(),
+       trace_flag.c_str()},
+      profiled_rc);
+  set_trace_enabled(false);
+  set_task_events_enabled(false);
+
+  EXPECT_EQ(plain_rc, 0);
+  EXPECT_EQ(profiled_rc, 0);
+  EXPECT_FALSE(plain.empty());
+  EXPECT_EQ(plain, profiled);
+
+  // The profile sidecar parses strictly and reconstructs the smoke
+  // run's sweeps with zero ring drops.
+  std::ifstream pin(profile_path, std::ios::binary);
+  ASSERT_TRUE(pin.good());
+  std::ostringstream pbuf;
+  pbuf << pin.rdbuf();
+  Profile profile;
+  ASSERT_TRUE(parse_profile_json(pbuf.str(), &profile));
+  EXPECT_EQ(profile.dropped, 0u);
+  EXPECT_GE(profile.sweeps.size(), 1u);
+  EXPECT_FALSE(profile.tasks.empty());
+  bool chunk_seen = false;
+  for (const TaskProfile& t : profile.tasks) chunk_seen |= t.is_chunk;
+  EXPECT_TRUE(chunk_seen);
+
+  // With --profile-out active the trace sidecar carries both the span
+  // slices and the task flow arrows on one timeline.
+  std::ifstream tin(trace_path, std::ios::binary);
+  ASSERT_TRUE(tin.good());
+  std::ostringstream tbuf;
+  tbuf << tin.rdbuf();
+  const std::string trace = tbuf.str();
+  EXPECT_NE(trace.find("\"cat\":\"exp.case\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+
+  ::unlink(profile_path.c_str());
+  ::unlink(trace_path.c_str());
+  clear_trace();
+  clear_task_events();
 }
 
 }  // namespace
