@@ -41,6 +41,7 @@
 #include "core/universal_rv.hpp"
 #include "graph/families/families.hpp"
 #include "support/bench_json.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "sweep/sweep.hpp"
@@ -506,10 +507,11 @@ int main() {
       "micro_sweep_profile",
       "M6: task-lifecycle profiler overhead, off vs on", profile_cmp);
 
-  const char* dir = std::getenv("REPRO_CSV_DIR");
+  // Through support/env like every other binary (the invariant
+  // linter's first catch was a naked getenv here).
+  const std::string dir = rdv::support::repro_csv_dir();
   const std::string json_path =
-      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-      "BENCH_sweep.json";
+      (dir.empty() ? std::string() : dir + "/") + "BENCH_sweep.json";
   std::ostringstream json;
   json << "{\"bench\":\"micro_sweep\",\"graph\":\"" << g.name()
        << "\",\"items\":" << stics.size()

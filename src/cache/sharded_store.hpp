@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/stats.hpp"
+#include "support/check.hpp"
 
 /// Sharded, mutex-per-shard LRU store — the concurrency engine behind
 /// ArtifactCache. Generic over (Key, Value) so each artifact kind gets
@@ -122,6 +123,10 @@ class ShardedLruStore {
               shard.map.size() > 1)) {
         const Key& victim = shard.lru.back();
         auto victim_it = shard.map.find(victim);
+        RDV_CHECK_MSG(victim_it != shard.map.end(),
+                      "LRU victim missing from shard map");
+        RDV_CHECK_MSG(shard.bytes >= victim_it->second.bytes,
+                      "shard byte accounting underflow");
         shard.bytes -= victim_it->second.bytes;
         shard.map.erase(victim_it);
         shard.lru.pop_back();
@@ -175,7 +180,7 @@ class ShardedLruStore {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable support::RankedMutex mutex{support::LockRank::kCacheShard};
     std::unordered_map<Key, Entry, Hash> map;
     /// Keys being computed right now; requesters wait on the future.
     std::unordered_map<Key, std::shared_future<std::shared_ptr<const Value>>,

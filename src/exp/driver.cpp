@@ -477,7 +477,7 @@ int run_main(int argc, const char* const* argv) {
   // --store-dir is sugar for RDV_STORE_DIR; exported before anything
   // touches the global cache (which reads the knob exactly once).
   if (!args.store_dir.empty()) {
-    ::setenv("RDV_STORE_DIR", args.store_dir.c_str(), 1);
+    support::env_export("RDV_STORE_DIR", args.store_dir);
   }
   // Tracing/profiling flip on only when a sink was requested (and
   // before the pool spins up, so worker park/assist events are

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <vector>
 
 namespace rdv::obs {
 
@@ -81,13 +82,23 @@ void Registry::register_source(std::string name, SnapshotSource source) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
-  std::lock_guard lock(mutex_);
-  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) {
-    out.histograms[name] = h->snapshot();
+  // Sources are copied under the mutex but INVOKED outside it: they
+  // read subsystem stats behind subsystem locks (cache shards, pool
+  // sleep mutex), all of which rank BELOW the registry mutex — calling
+  // them with the registry locked was the lock-order inversion the
+  // RDV_CHECKED rank checker flagged when it first ran.
+  std::vector<SnapshotSource> sources;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+      out.histograms[name] = h->snapshot();
+    }
+    sources.reserve(sources_.size());
+    for (const auto& [name, source] : sources_) sources.push_back(source);
   }
-  for (const auto& [name, source] : sources_) source(out);
+  for (const SnapshotSource& source : sources) source(out);
   return out;
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <string_view>
 
+#include "support/check.hpp"
+
 /// Process-wide metrics registry (ISSUE 7 tentpole).
 ///
 /// Three primitives, all safe to bump from any thread with no lock on
@@ -172,8 +174,13 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 };
 
-/// Snapshot contributor for subsystems with their own counters; called
-/// under the registry mutex — must not resolve registry handles.
+/// Snapshot contributor for subsystems with their own counters. Called
+/// OUTSIDE the registry mutex (the registry mutex ranks above the
+/// subsystem locks a source takes — cache shards, pool sleep — so
+/// holding it across the callback would invert the lock order the
+/// RDV_CHECKED rank checker enforces); concurrent snapshots may invoke
+/// a source concurrently, so sources must only read thread-safe
+/// accessors. Must not register new metrics or sources.
 using SnapshotSource = std::function<void(MetricsSnapshot&)>;
 
 class Registry {
@@ -199,7 +206,7 @@ class Registry {
   void reset_for_tests();
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::LockRank::kObsRegistry};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "support/check.hpp"
 
 namespace rdv::obs {
 
@@ -23,7 +24,7 @@ std::atomic<std::uint32_t> g_next_thread{0};
 /// private to the owning thread in steady state (only drain/clear
 /// contend), so record() is an uncontended lock plus a struct store.
 struct EventRing {
-  std::mutex mutex;
+  support::RankedMutex mutex{support::LockRank::kObsRing};
   std::vector<TaskEvent> slots;
   std::size_t head = 0;
   std::size_t size = 0;
@@ -71,7 +72,7 @@ struct EventRing {
 };
 
 struct RingDirectory {
-  std::mutex mutex;
+  support::RankedMutex mutex{support::LockRank::kObsRing};
   std::vector<std::shared_ptr<EventRing>> rings;
 };
 

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/task_events.hpp"
+#include "support/check.hpp"
 
 namespace rdv::obs {
 
@@ -23,7 +24,7 @@ std::atomic<std::uint64_t> g_dropped{0};
 /// steady state (only drain/clear contend), so record() is an
 /// uncontended lock + two stores — cheap, and TSan-clean.
 struct TraceRing {
-  std::mutex mutex;
+  support::RankedMutex mutex{support::LockRank::kObsRing};
   std::vector<TraceEvent> slots;
   /// Next write position; wraps. size_ saturates at capacity.
   std::size_t head = 0;
@@ -63,7 +64,7 @@ struct TraceRing {
 };
 
 struct RingDirectory {
-  std::mutex mutex;
+  support::RankedMutex mutex{support::LockRank::kObsRing};
   std::vector<std::shared_ptr<TraceRing>> rings;
 };
 

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/check.hpp"
+
 namespace rdv::store {
 
 namespace fs = std::filesystem;
@@ -21,6 +23,8 @@ namespace {
 constexpr char kMagic[4] = {'R', 'D', 'V', 'S'};
 
 std::size_t kind_index(Kind kind) noexcept {
+  RDV_CHECK_MSG(static_cast<std::size_t>(kind) < kKindCount,
+                "artifact kind out of range");
   return static_cast<std::size_t>(kind);
 }
 

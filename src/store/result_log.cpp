@@ -93,6 +93,9 @@ void OrderedResultStream::submit(std::size_t index, ResultRecord record) {
     pending_.erase(it);
     ++next_;
   }
+  RDV_CHECK_MSG(pending_.empty() || pending_.begin()->first > next_,
+                "ordered stream holds a record at or before the flush "
+                "cursor");
 }
 
 std::size_t OrderedResultStream::flushed() const {

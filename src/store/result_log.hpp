@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "store/codec.hpp"
+#include "support/check.hpp"
 
 /// Compact binary sweep-result log (ISSUE 4 tentpole) — the
 /// "millions-of-STICs" alternative to per-experiment CSV/JSON files.
@@ -87,7 +88,7 @@ class OrderedResultStream {
   [[nodiscard]] std::size_t pending() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::LockRank::kStore};
   ResultLogWriter& writer_;
   std::vector<ResultRecord>* collect_;
   std::size_t next_ = 0;

@@ -38,4 +38,12 @@ std::string rdv_store_salt() { return env_string("RDV_STORE_SALT"); }
 
 bool rdv_store_readonly() { return env_flag("RDV_STORE_READONLY"); }
 
+bool env_export(const char* name, const std::string& value) {
+#if defined(_WIN32)
+  return _putenv_s(name, value.c_str()) == 0;
+#else
+  return ::setenv(name, value.c_str(), 1) == 0;
+#endif
+}
+
 }  // namespace rdv::support

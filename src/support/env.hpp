@@ -51,4 +51,11 @@ namespace rdv::support {
 /// read-only store directories).
 [[nodiscard]] bool rdv_store_readonly();
 
+/// Exports `name=value` into this process's environment (CLI flags
+/// that are sugar for env knobs, e.g. rdv_bench --store-dir). The one
+/// sanctioned write path, for the same reason the readers are
+/// centralized: the invariant linter forbids set/putenv elsewhere.
+/// Returns false when the underlying setenv fails.
+bool env_export(const char* name, const std::string& value);
+
 }  // namespace rdv::support

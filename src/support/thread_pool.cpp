@@ -186,6 +186,11 @@ bool ThreadPool::try_pop(std::size_t self, Task& task, const void* tag) {
 }
 
 void ThreadPool::run_task(Task& task) {
+  // Tasks are arbitrary user code reaching into every layer: starting
+  // one while this thread still holds a substrate lock would let the
+  // task re-acquire "upward" and deadlock under the right schedule.
+  RDV_CHECK_MSG(held_rank_count() == 0,
+                "pool task started while the worker holds a checked lock");
   if (task.id != 0) {
     obs::record_task_event(obs::TaskEventKind::kBegin, task.id);
   }

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/check.hpp"
+
 /// Work-stealing thread pool + parallel_for used by the experiment
 /// sweeps (STIC enumeration, feasibility cross-checks).
 ///
@@ -119,7 +121,7 @@ class ThreadPool {
   /// workers, assisting waiters) pop at the front. unique_ptr keeps the
   /// mutex address stable in the vector.
   struct WorkerQueue {
-    std::mutex mutex;
+    RankedMutex mutex{LockRank::kPoolQueue};
     std::deque<Task> tasks;
   };
 
@@ -144,12 +146,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::mutex shared_mutex_;
+  RankedMutex shared_mutex_{LockRank::kPoolQueue};
   std::deque<Task> shared_;
   /// Sleep machinery: epoch_/sleepers_/stopping_ guarded by
-  /// sleep_mutex_; cv_ wakes on every epoch move.
-  mutable std::mutex sleep_mutex_;
-  std::condition_variable cv_;
+  /// sleep_mutex_; cv_ wakes on every epoch move. The cv is
+  /// condition_variable_any so it waits on the rank-checked mutex
+  /// (RDV_CHECKED builds verify park/wake acquisitions like any other).
+  mutable RankedMutex sleep_mutex_{LockRank::kPoolSleep};
+  std::condition_variable_any cv_;
   std::uint64_t epoch_ = 0;
   std::size_t sleepers_ = 0;
   bool stopping_ = false;

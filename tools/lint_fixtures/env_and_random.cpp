@@ -1,0 +1,26 @@
+// lint-path: src/core/fixture.cpp
+// Self-test fixture: each violating line carries a `lint-expect`
+// marker naming the rule that must fire there (and ONLY there).
+#include <cstdlib>
+#include <random>
+
+namespace rdv::fixture {
+
+const char* read_knob() {
+  return std::getenv("RDV_FIXTURE");  // lint-expect: env-access
+}
+
+unsigned roll() {
+  std::random_device rd;  // lint-expect: unseeded-random
+  return rd();
+}
+
+unsigned roll_legacy() {
+  return static_cast<unsigned>(rand());  // lint-expect: unseeded-random
+}
+
+// Clean lines for contrast: seeded SplitMix-style use and a comment
+// mentioning getenv("X") that must NOT fire.
+unsigned seeded(unsigned long long seed) { return seed * 2654435769u; }
+
+}  // namespace rdv::fixture

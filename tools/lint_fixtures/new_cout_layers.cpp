@@ -1,0 +1,30 @@
+// lint-path: src/support/fixture.cpp
+// Self-test fixture for the library-code rules: naked allocation,
+// stdout in a library, and an include that points UP the layer DAG
+// (support including cache). The smart-pointer and stderr lines are
+// the negative cases.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "cache/artifact_cache.hpp"  // lint-expect: layer-dag
+
+namespace rdv::fixture {
+
+int* leak() {
+  return new int(7);  // lint-expect: naked-new
+}
+
+void* raw(std::size_t n) {
+  return malloc(n);  // lint-expect: naked-new
+}
+
+void shout() {
+  std::cout << "library code must not own stdout\n";  // lint-expect: cout-in-lib
+}
+
+// Negative cases: these must stay silent.
+std::unique_ptr<int> owned() { return std::make_unique<int>(7); }
+void grumble() { std::fprintf(stderr, "stderr is fine\n"); }
+
+}  // namespace rdv::fixture
